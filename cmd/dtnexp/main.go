@@ -1,0 +1,135 @@
+// Command dtnexp regenerates the paper's evaluation artifacts: every figure
+// (5.1–5.6), Table 5.1, the ablation studies, and the router comparison.
+//
+// Usage:
+//
+//	dtnexp -exp fig5.1 -profile quick
+//	dtnexp -exp all    -profile paper   # Table 5.1 scale; takes hours
+//
+// Profiles scale the network while preserving the paper's node density
+// (100 participants per km²): "paper" is Table 5.1 exactly, "quick"
+// completes the full suite in minutes, "bench" matches the testing.B scale.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dtnsim/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dtnexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtnexp", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, or all")
+	profileName := fs.String("profile", "quick", "scale profile: paper, quick, or bench")
+	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := experiment.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runners := map[string]func() error{
+		"table5.1": func() error {
+			fmt.Println(experiment.Table51(profile))
+			return nil
+		},
+		"fig5.1": func() error {
+			t, _, err := experiment.Fig51(ctx, profile)
+			return printTable(t, err)
+		},
+		"fig5.2": func() error {
+			t, _, err := experiment.Fig52(ctx, profile)
+			return printTable(t, err)
+		},
+		"fig5.3": func() error {
+			t, _, err := experiment.Fig53(ctx, profile)
+			return printTable(t, err)
+		},
+		"fig5.4": func() error {
+			t, _, err := experiment.Fig54(ctx, profile)
+			return printTable(t, err)
+		},
+		"fig5.5": func() error {
+			t, _, err := experiment.Fig55(ctx, profile)
+			return printTable(t, err)
+		},
+		"fig5.6": func() error {
+			t, _, err := experiment.Fig56(ctx, profile)
+			return printTable(t, err)
+		},
+		"ablations": func() error {
+			for _, f := range []func(context.Context, experiment.Profile) (experiment.Table, experiment.AblationResult, error){
+				experiment.AblationReputation,
+				experiment.AblationEnrichment,
+				experiment.AblationPrepay,
+				experiment.AblationPriorityBuffers,
+			} {
+				t, _, err := f(ctx, profile)
+				if err := printTable(t, err); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"routers": func() error {
+			t, _, err := experiment.BaselineComparison(ctx, profile)
+			return printTable(t, err)
+		},
+		"battery": func() error {
+			t, _, err := experiment.BatterySweep(ctx, profile)
+			return printTable(t, err)
+		},
+		"repmodels": func() error {
+			t, _, err := experiment.ReputationModelComparison(ctx, profile)
+			return printTable(t, err)
+		},
+		"sensitivity": func() error {
+			t, _, err := experiment.Sensitivity(ctx, profile)
+			return printTable(t, err)
+		},
+	}
+
+	if *exp == "all" {
+		order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "ablations", "routers", "battery", "repmodels", "sensitivity"}
+		for _, id := range order {
+			start := time.Now()
+			if err := runners[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Second))
+		}
+		return nil
+	}
+	runner, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return runner()
+}
+
+func printTable(t experiment.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	return nil
+}

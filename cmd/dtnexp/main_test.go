@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunTable51(t *testing.T) {
+	if err := run([]string{"-exp", "table5.1", "-profile", "bench"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig9.9", "-profile", "bench"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	if err := run([]string{"-exp", "table5.1", "-profile", "galactic"}); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestRunHonorsTimeout(t *testing.T) {
+	// A 1 ns budget must cancel the first simulation run.
+	if err := run([]string{"-exp", "fig5.4", "-profile", "bench", "-timeout", "1ns"}); err == nil {
+		t.Error("expired timeout should surface as an error")
+	}
+}

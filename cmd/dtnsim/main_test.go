@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinySimulation(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "events.jsonl")
+	conn := filepath.Join(dir, "conn.trace")
+	err := run([]string{
+		"-nodes", "15",
+		"-area", "0.15",
+		"-duration", "10m",
+		"-selfish", "20",
+		"-trace", trace,
+		"-conntrace", conn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, conn} {
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestRunChitChatScheme(t *testing.T) {
+	if err := run([]string{"-nodes", "10", "-area", "0.1", "-duration", "5m", "-scheme", "chitchat"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRouterFlag(t *testing.T) {
+	if err := run([]string{"-nodes", "10", "-area", "0.1", "-duration", "5m", "-router", "epidemic"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "bogus"},
+		{"-router", "bogus", "-nodes", "5", "-area", "0.1", "-duration", "1m"},
+		{"-nodes", "0"},
+		{"-selfish", "150"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestPriorityNamePadding(t *testing.T) {
+	for p := 1; p <= 3; p++ {
+		if name := priorityName(p); len(strings.TrimSpace(name)) == 0 {
+			t.Errorf("priorityName(%d) empty", p)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Battlefield: the paper's motivating deployment (Paper I §3.2). A company
+// of mobile users with a role hierarchy — sergeants (R_u = 1) and soldiers
+// (R_u = 2) — shares intelligence imagery over a DTN. Some soldiers turn
+// selfish to save battery; the incentive mechanism keeps high-priority
+// traffic moving and the priority-segmented delivery report shows the
+// scheme favouring high-priority messages, as in Figure 5.6.
+//
+// Run with:
+//
+//	go run ./examples/battlefield
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/message"
+	"dtnsim/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("battlefield deployment: 80 users, 10% sergeants, 30% selfish soldiers")
+	fmt.Println()
+
+	results := make(map[core.Scheme]core.Result, 2)
+	for _, scheme := range []core.Scheme{core.SchemeChitChat, core.SchemeIncentive} {
+		spec := scenario.Default(scheme)
+		spec.Nodes = 80
+		spec.AreaKm2 = 0.8
+		spec.Duration = 3 * time.Hour
+		spec.SelfishPercent = 30
+		spec.CommanderPercent = 10
+		spec.ClassSplit = true // 50/30/20 high/medium/low generators
+		spec.MeanMessageInterval = 20 * time.Minute
+		spec.Seed = 11
+
+		eng, err := scenario.BuildEngine(spec)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		results[scheme] = res
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "chitchat", "incentive")
+	row := func(label string, f func(core.Result) string) {
+		fmt.Printf("%-22s %12s %12s\n", label,
+			f(results[core.SchemeChitChat]), f(results[core.SchemeIncentive]))
+	}
+	row("messages created", func(r core.Result) string { return fmt.Sprintf("%d", r.Created) })
+	row("delivered", func(r core.Result) string { return fmt.Sprintf("%d", r.Delivered) })
+	row("MDR", func(r core.Result) string { return fmt.Sprintf("%.3f", r.MDR) })
+	row("relay traffic", func(r core.Result) string { return fmt.Sprintf("%d", r.RelayTransfers) })
+	for p := message.PriorityHigh; p <= message.PriorityLow; p++ {
+		p := p
+		row("delivered "+p.String(), func(r core.Result) string {
+			return fmt.Sprintf("%d/%d", r.DeliveredByPriority[p], r.CreatedByPriority[p])
+		})
+	}
+	inc := results[core.SchemeIncentive]
+	fmt.Println()
+	fmt.Printf("incentive economy: mean %.1f tokens (min %.1f, max %.1f), %d nodes broke\n",
+		inc.TokensMean, inc.TokensMin, inc.TokensMax, inc.ExhaustedNodes)
+	fmt.Printf("zero-token refusals: %d; closed-radio encounters: %d\n",
+		inc.RefusedNoTokens, inc.RefusedRadioOff)
+	chit := results[core.SchemeChitChat]
+	if chit.RelayTransfers > 0 {
+		delta := 100 * float64(inc.RelayTransfers-chit.RelayTransfers) / float64(chit.RelayTransfers)
+		switch {
+		case delta <= 0:
+			fmt.Printf("relay traffic reduced over ChitChat: %.1f%%\n", -delta)
+		default:
+			fmt.Printf("relay traffic vs ChitChat: +%.1f%% (content enrichment widened dissemination more than token exhaustion curbed it at these settings)\n", delta)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Disaster response: the content-enrichment story (Paper I §1.3.2). A field
+// report starts with sparse annotations ("flood"); as it hops through
+// responders who each know something more about the scene, honest relays
+// enrich it — widening the destination set — while one malicious relay
+// forges tags to farm incentives and gets caught by the distributed
+// reputation model.
+//
+// Run with:
+//
+//	go run ./examples/disaster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dtnsim/internal/behavior"
+	"dtnsim/internal/core"
+	"dtnsim/internal/enrich"
+	"dtnsim/internal/message"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	vocab, err := enrich.NewVocabulary(30)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Area = world.Rect{Width: 1500, Height: 1500}
+	cfg.Duration = 20 * time.Minute
+	cfg.Workload = core.DefaultWorkload(vocab)
+	cfg.Workload.MeanInterval = 0
+	cfg.RatingSampleInterval = 5 * time.Minute
+
+	at := func(x float64) *mobility.Stationary {
+		return &mobility.Stationary{At: world.Point{X: x, Y: 100}}
+	}
+	// A chain of responders 80 m apart: scout → medic → bad actor → two
+	// coordination posts, each subscribed to a different aspect of the
+	// evolving situation.
+	specs := []core.NodeSpec{
+		{Profile: behavior.CooperativeProfile(), Mobility: at(100)}, // scout (source)
+		{
+			Profile:  behavior.CooperativeProfile(),
+			Mobility: at(180),
+			Tagger:   &enrich.HonestTagger{KnowProb: 1, MaxTags: 2},
+			Interests: []string{
+				"kw-0", // "flood"
+			},
+		}, // medic: recognises casualties in the image
+		{
+			Profile:   behavior.MaliciousProfile(false),
+			Mobility:  at(260),
+			Interests: []string{"kw-1"},
+		}, // bad actor: forges tags for incentive
+		{Profile: behavior.CooperativeProfile(), Mobility: at(340), Interests: []string{"kw-1"}}, // post watching "casualties"
+		{Profile: behavior.CooperativeProfile(), Mobility: at(420), Interests: []string{"kw-2"}}, // post watching "bridge-out"
+	}
+	eng, err := core.NewEngine(cfg, specs)
+	if err != nil {
+		return err
+	}
+
+	scout, err := eng.Device(0)
+	if err != nil {
+		return err
+	}
+	// The scene truly shows a flood, casualties, and a washed-out bridge,
+	// but the scout only recognises the flood.
+	report, err := scout.Annotate(
+		[]string{"kw-0", "kw-1", "kw-2"},
+		[]string{"kw-0"},
+		1<<20, message.PriorityHigh, 0.85,
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scout files report %s tagged %v (scene truly shows kw-0, kw-1, kw-2)\n",
+		report.ID, report.Keywords())
+
+	if err := eng.RunFor(context.Background(), cfg.Duration); err != nil {
+		return err
+	}
+	res := eng.Result()
+
+	fmt.Printf("\nafter %v: %d enrichment tags added (%d relevant, %d forged)\n",
+		cfg.Duration, res.TagsAdded, res.RelevantTags, res.IrrelevantTags)
+	for i := 3; i <= 4; i++ {
+		dev, derr := eng.Device(core.NodeID(i))
+		if derr != nil {
+			return derr
+		}
+		for _, got := range dev.ReceivedMessages() {
+			fmt.Printf("post n%d received %s: tags now [%s], path %v\n",
+				i, got.ID, strings.Join(got.Keywords(), " "), got.Path)
+		}
+	}
+
+	fmt.Println("\nreputation after the run (how the posts rate the relays):")
+	for _, rater := range []core.NodeID{3, 4} {
+		dev, derr := eng.Device(rater)
+		if derr != nil {
+			return derr
+		}
+		fmt.Printf("  n%d rates medic n1 %.2f, bad actor n2 %.2f\n",
+			rater, dev.RateNode(1), dev.RateNode(2))
+	}
+	fmt.Println("\ntoken balances (honest enrichers profit, forgers are discounted):")
+	for i := 0; i < 5; i++ {
+		dev, derr := eng.Device(core.NodeID(i))
+		if derr != nil {
+			return derr
+		}
+		fmt.Printf("  n%d (%s): %.2f\n", i, eng.Node(core.NodeID(i)).Profile().Kind, dev.Balance())
+	}
+	return nil
+}

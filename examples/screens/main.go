@@ -1,0 +1,161 @@
+// Screens: text renderings of the Android demo app's five screens
+// (Paper II §4, Figures 4.1–4.5) driven by a live simulation — Gallery,
+// User Interests, Neighbors Listing, Received Messages, and Message
+// Details. Useful for eyeballing what a node knows mid-run.
+//
+// Run with:
+//
+//	go run ./examples/screens
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/message"
+	"dtnsim/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := scenario.Default(core.SchemeIncentive)
+	spec.Nodes = 40
+	spec.AreaKm2 = 0.4
+	spec.Duration = 45 * time.Minute
+	spec.SelfishPercent = 10
+	spec.MaliciousPercent = 10
+	spec.MeanMessageInterval = 5 * time.Minute
+	spec.Seed = 3
+	eng, err := scenario.BuildEngine(spec)
+	if err != nil {
+		return err
+	}
+	if err := eng.RunFor(context.Background(), spec.Duration); err != nil {
+		return err
+	}
+
+	// Pick the node holding the most messages — the most interesting
+	// screen to show.
+	var focus *core.Device
+	best := -1
+	for _, n := range eng.Nodes() {
+		if l := n.Buffer().Len(); l > best {
+			best = l
+			d, derr := eng.Device(n.ID())
+			if derr != nil {
+				return derr
+			}
+			focus = d
+		}
+	}
+
+	header(fmt.Sprintf("device %s — after %v of simulation", focus.ID(), spec.Duration))
+
+	header("gallery (locally created messages)")
+	count := 0
+	for _, m := range focus.ReceivedMessages() {
+		if m.Source != focus.ID() {
+			continue
+		}
+		count++
+		fmt.Printf("  %-10s %8s  %-6s  q=%.2f  tags: %s\n",
+			m.ID, byteSize(m.Size), m.Priority, m.Quality, strings.Join(m.Keywords(), ", "))
+	}
+	if count == 0 {
+		fmt.Println("  (none created yet)")
+	}
+
+	header("user interests (keyword / weight / acquired from)")
+	rows := focus.InterestRows()
+	shown := 0
+	for _, r := range rows {
+		from := "SELF"
+		if !r.Direct {
+			from = r.AcquiredFrom.String()
+		}
+		fmt.Printf("  %-10s %5.3f  %s\n", r.Keyword, r.Weight, from)
+		shown++
+		if shown >= 15 {
+			fmt.Printf("  … and %d more\n", len(rows)-shown)
+			break
+		}
+	}
+
+	header("neighbors listing (connected devices)")
+	neighbors := focus.Neighbors()
+	if len(neighbors) == 0 {
+		fmt.Println("  (no devices in range right now)")
+	}
+	for _, id := range neighbors {
+		fmt.Printf("  %s  rating %.2f\n", id, focus.RateNode(id))
+	}
+
+	header("received messages")
+	received := 0
+	var detail *message.Message
+	for _, m := range focus.ReceivedMessages() {
+		if m.Source == focus.ID() {
+			continue
+		}
+		received++
+		if detail == nil || len(m.Annotations) > len(detail.Annotations) {
+			detail = m
+		}
+		if received <= 10 {
+			fmt.Printf("  %-10s from %-4s  %-6s  %d tags\n",
+				m.ID, m.Source, m.Priority, len(m.Annotations))
+		}
+	}
+	if received > 10 {
+		fmt.Printf("  … and %d more\n", received-10)
+	}
+	if received == 0 {
+		fmt.Println("  (nothing received yet)")
+	}
+
+	if detail != nil {
+		header(fmt.Sprintf("message details — %s", detail.ID))
+		fmt.Printf("  source:    %s (role %s)\n", detail.Source, detail.SourceRole)
+		fmt.Printf("  created:   t+%v\n", detail.CreatedAt.Round(time.Second))
+		fmt.Printf("  size:      %s, quality %.2f, priority %s\n",
+			byteSize(detail.Size), detail.Quality, detail.Priority)
+		fmt.Printf("  path:      %v\n", detail.Path)
+		fmt.Printf("  keywords:  %s\n", strings.Join(detail.Keywords(), ", "))
+		for _, a := range detail.Annotations {
+			who := "source"
+			if a.Hop > 0 {
+				who = fmt.Sprintf("enriched by %s at hop %d", a.AddedBy, a.Hop)
+			}
+			fmt.Printf("    %-10s (%s)\n", a.Keyword, who)
+		}
+	}
+
+	header("incentives")
+	fmt.Printf("  tokens to offer: %.2f\n", focus.Balance())
+	fmt.Printf("  earned %.2f, spent %.2f\n", focus.Wallet().Earned(), focus.Wallet().Spent())
+	return nil
+}
+
+func header(s string) {
+	fmt.Printf("\n== %s ==\n", s)
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,3 @@
+module dtnsim
+
+go 1.22

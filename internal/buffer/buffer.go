@@ -1,0 +1,215 @@
+// Package buffer implements the per-node message store with a byte-capacity
+// limit (Table 5.1: 250 MB) and pluggable eviction. Relays in the paper have
+// "a message buffer with a fixed size"; when a new message does not fit, the
+// eviction policy decides which resident messages to drop.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/message"
+)
+
+// ErrTooLarge is returned when a message is bigger than the whole buffer.
+var ErrTooLarge = errors.New("buffer: message exceeds buffer capacity")
+
+// ErrDuplicate is returned when the buffer already holds the message ID; the
+// paper's UUID "makes sure that the message does not get duplicated in any
+// device".
+var ErrDuplicate = errors.New("buffer: duplicate message")
+
+// Policy selects eviction victims. Given the resident messages (in insertion
+// order) and the number of bytes that must be freed, it returns the IDs to
+// evict. Implementations must return enough bytes or the insert fails.
+type Policy interface {
+	// Victims picks messages to evict to free at least need bytes.
+	Victims(resident []*message.Message, need int64) []ident.MessageID
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Store is a capacity-bounded message buffer. It is not safe for concurrent
+// use; the simulation engine is single-threaded per run.
+type Store struct {
+	capacity int64
+	used     int64
+	policy   Policy
+	byID     map[ident.MessageID]*message.Message
+	order    []*message.Message // insertion order, for deterministic iteration
+	dropped  int                // messages evicted before delivery
+}
+
+// New creates a store with the given byte capacity and eviction policy. A
+// nil policy defaults to DropOldest.
+func New(capacity int64, policy Policy) (*Store, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: capacity must be positive, got %d", capacity)
+	}
+	if policy == nil {
+		policy = DropOldest{}
+	}
+	return &Store{
+		capacity: capacity,
+		policy:   policy,
+		byID:     make(map[ident.MessageID]*message.Message),
+	}, nil
+}
+
+// Capacity returns the byte capacity.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently occupied.
+func (s *Store) Used() int64 { return s.used }
+
+// Free returns the bytes available without eviction.
+func (s *Store) Free() int64 { return s.capacity - s.used }
+
+// Len returns the number of resident messages.
+func (s *Store) Len() int { return len(s.byID) }
+
+// Dropped returns how many messages have been evicted so far.
+func (s *Store) Dropped() int { return s.dropped }
+
+// Has reports whether the message ID is resident.
+func (s *Store) Has(id ident.MessageID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns a resident message, or nil.
+func (s *Store) Get(id ident.MessageID) *message.Message { return s.byID[id] }
+
+// Add inserts a message, evicting per policy if needed. It returns
+// ErrDuplicate if the ID is resident and ErrTooLarge if the message can
+// never fit.
+func (s *Store) Add(m *message.Message) error {
+	if m.Size > s.capacity {
+		return ErrTooLarge
+	}
+	if s.Has(m.ID) {
+		return ErrDuplicate
+	}
+	if need := m.Size - s.Free(); need > 0 {
+		victims := s.policy.Victims(s.Messages(), need)
+		for _, id := range victims {
+			if s.remove(id) {
+				s.dropped++
+			}
+		}
+		if s.Free() < m.Size {
+			return fmt.Errorf("buffer: policy %s freed too little for %d bytes", s.policy.Name(), m.Size)
+		}
+	}
+	s.byID[m.ID] = m
+	s.order = append(s.order, m)
+	s.used += m.Size
+	return nil
+}
+
+// Remove deletes a message (e.g. after TTL expiry). It reports whether the
+// message was resident.
+func (s *Store) Remove(id ident.MessageID) bool { return s.remove(id) }
+
+func (s *Store) remove(id ident.MessageID) bool {
+	m, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	delete(s.byID, id)
+	s.used -= m.Size
+	for i, om := range s.order {
+		if om == m {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Messages returns the resident messages in insertion order. The returned
+// slice is the store's internal list and is invalidated by the next Add or
+// Remove; callers must not mutate it. (Routing scans every buffer on every
+// exchange round, so handing out copies dominated early profiles.)
+func (s *Store) Messages() []*message.Message {
+	return s.order
+}
+
+// ExpireAt removes all messages whose TTL has lapsed at virtual time now and
+// returns how many were removed.
+func (s *Store) ExpireAt(now time.Duration) int {
+	var expired []ident.MessageID
+	for _, m := range s.order {
+		if m.Expired(now) {
+			expired = append(expired, m.ID)
+		}
+	}
+	for _, id := range expired {
+		s.remove(id)
+	}
+	return len(expired)
+}
+
+// DropOldest evicts the earliest-created messages first (the ONE simulator's
+// default FIFO behaviour).
+type DropOldest struct{}
+
+var _ Policy = DropOldest{}
+
+// Name implements Policy.
+func (DropOldest) Name() string { return "drop-oldest" }
+
+// Victims implements Policy.
+func (DropOldest) Victims(resident []*message.Message, need int64) []ident.MessageID {
+	ordered := make([]*message.Message, len(resident))
+	copy(ordered, resident)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].CreatedAt < ordered[j].CreatedAt
+	})
+	return takeUntil(ordered, need)
+}
+
+// DropLowPriority evicts low-priority (and, within a priority level, oldest)
+// messages first. The paper's scheme "prioritizes messages based on the
+// quality as well as the assigned priority" (Paper I §5.F); this policy is
+// the buffer-side half of that preference and is the default for the
+// incentive scheme.
+type DropLowPriority struct{}
+
+var _ Policy = DropLowPriority{}
+
+// Name implements Policy.
+func (DropLowPriority) Name() string { return "drop-low-priority" }
+
+// Victims implements Policy.
+func (DropLowPriority) Victims(resident []*message.Message, need int64) []ident.MessageID {
+	ordered := make([]*message.Message, len(resident))
+	copy(ordered, resident)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Priority != ordered[j].Priority {
+			// Numerically higher Priority value = less important.
+			return ordered[i].Priority > ordered[j].Priority
+		}
+		if ordered[i].Quality != ordered[j].Quality {
+			return ordered[i].Quality < ordered[j].Quality
+		}
+		return ordered[i].CreatedAt < ordered[j].CreatedAt
+	})
+	return takeUntil(ordered, need)
+}
+
+func takeUntil(ordered []*message.Message, need int64) []ident.MessageID {
+	var out []ident.MessageID
+	var freed int64
+	for _, m := range ordered {
+		if freed >= need {
+			break
+		}
+		out = append(out, m.ID)
+		freed += m.Size
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package core
+
+import "dtnsim/internal/ident"
+
+// Re-exported identity types so applications built on the core façade don't
+// need to import the leaf ident package.
+type (
+	// NodeID identifies a device.
+	NodeID = ident.NodeID
+	// MessageID identifies a message network-wide.
+	MessageID = ident.MessageID
+	// Role is a user's rank in the deployment hierarchy.
+	Role = ident.Role
+)
+
+// Re-exported role constants.
+const (
+	RoleCommander = ident.RoleCommander
+	RoleOperator  = ident.RoleOperator
+	RoleCivilian  = ident.RoleCivilian
+)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"dtnsim/internal/message"
+	"dtnsim/internal/routing"
+	"dtnsim/internal/world"
+)
+
+// contact is one live pairwise encounter. A contact is "open" only when
+// both radios are on (selfish nodes mostly keep theirs off); closed
+// contacts exist solely so the radio coin is flipped once per encounter
+// rather than once per tick.
+type contact struct {
+	pair         world.Pair
+	a, b         *Node
+	open         bool
+	dead         bool
+	seen         uint64
+	startedAt    time.Duration
+	lastExchange time.Duration
+	lastGossip   time.Duration
+	queue        []*transfer
+	active       *transfer
+}
+
+// other returns the peer of n on this contact.
+func (c *contact) other(n *Node) *Node {
+	if c.a == n {
+		return c.b
+	}
+	return c.a
+}
+
+// hasTransfer reports whether msg is already queued or active toward dst.
+func (c *contact) hasTransfer(m *message.Message, dst *Node) bool {
+	if c.active != nil && c.active.msg.ID == m.ID && c.active.to == dst {
+		return true
+	}
+	for _, t := range c.queue {
+		if t.msg.ID == m.ID && t.to == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// transfer is one in-flight message handover over a contact. The link is
+// half-duplex: one transfer at a time per contact, both directions sharing
+// the queue in negotiation order.
+type transfer struct {
+	from, to *Node
+	msg      *message.Message
+	role     routing.PeerRole
+	// promise is the incentive attached to this handover (I for the
+	// deliverer, the carried promise for relays).
+	promise float64
+	// prepay is the relay-threshold upfront payment due from the receiver
+	// at completion; zero when below threshold.
+	prepay    float64
+	bytesLeft float64
+	elapsed   time.Duration
+}

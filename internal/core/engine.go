@@ -1,0 +1,424 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dtnsim/internal/behavior"
+	"dtnsim/internal/enrich"
+	"dtnsim/internal/ident"
+	"dtnsim/internal/incentive"
+	"dtnsim/internal/interest"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/report"
+	"dtnsim/internal/routing"
+	"dtnsim/internal/sim"
+	"dtnsim/internal/trace"
+	"dtnsim/internal/world"
+)
+
+// Engine runs one simulation: it owns the kernel, the world grid, every
+// node, the contact set, and the incentive/reputation machinery layered on
+// the routing rounds.
+type Engine struct {
+	cfg       Config
+	runner    *sim.Runner
+	grid      *world.Grid
+	nodes     []*Node
+	router    routing.Router
+	spray     *routing.SprayAndWait
+	calc      *incentive.Calculator
+	ledger    *incentive.Ledger
+	judge     *enrich.Judge
+	collector *metrics.Collector
+	interner  *interest.Interner
+
+	contacts    map[world.Pair]*contact
+	contactList []*contact // creation order; the deterministic iteration set
+	peersOf     map[ident.NodeID][]*contact
+	pairScratch []world.Pair
+	tickNo      uint64
+
+	honest    []ident.NodeID
+	malicious []ident.NodeID
+
+	workloadRNG *sim.RNG
+	nextSample  time.Duration
+	nextExpiry  time.Duration
+
+	traceCursor *trace.Cursor
+}
+
+// Result is the outcome of one run: the metrics report plus the
+// token-economy and energy summaries the experiments read.
+type Result struct {
+	metrics.Report
+	Scheme          Scheme
+	Nodes           int
+	TokensMin       float64
+	TokensMax       float64
+	TokensMean      float64
+	ExhaustedNodes  int // nodes that ended with (near-)zero tokens
+	DeadRadios      int // nodes whose battery budget ran out
+	LedgerTransfers int
+	LedgerVolume    float64
+	EnergyJoules    float64
+}
+
+// NewEngine validates the configuration and builds the network.
+func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: network needs at least one node")
+	}
+	runner, err := sim.NewRunner(cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := world.NewGrid(cfg.Area, cfg.Radio.Range)
+	if err != nil {
+		return nil, err
+	}
+	calc, err := incentive.NewCalculator(cfg.Incentive)
+	if err != nil {
+		return nil, err
+	}
+	router := cfg.Router
+	if router == nil {
+		router = routing.NewChitChat()
+	}
+	e := &Engine{
+		cfg:         cfg,
+		runner:      runner,
+		grid:        grid,
+		router:      router,
+		calc:        calc,
+		ledger:      incentive.NewLedger(),
+		judge:       enrich.NewJudge(cfg.Reputation, 0.1),
+		collector:   metrics.NewCollector(),
+		interner:    interest.NewInterner(),
+		contacts:    make(map[world.Pair]*contact),
+		peersOf:     make(map[ident.NodeID][]*contact),
+		nextSample:  cfg.RatingSampleInterval,
+		nextExpiry:  time.Minute,
+		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
+	}
+	if s, ok := router.(*routing.SprayAndWait); ok {
+		e.spray = s
+	}
+	root := sim.NewRNG(cfg.Seed)
+	for i, spec := range specs {
+		id := ident.NodeID(i)
+		nodeRNG := root.Fork("node-" + id.String())
+		if spec.Mobility == nil {
+			walker, werr := mobility.NewRandomWaypoint(mobility.DefaultPedestrian(cfg.Area), nodeRNG.Fork("walk"))
+			if werr != nil {
+				return nil, werr
+			}
+			spec.Mobility = walker
+		}
+		if spec.Tagger == nil {
+			spec.Tagger = e.defaultTagger(spec.Profile)
+		}
+		n, nerr := newNode(id, spec, cfg, nodeRNG, e.interner)
+		if nerr != nil {
+			return nil, nerr
+		}
+		e.nodes = append(e.nodes, n)
+		e.grid.Upsert(id, n.model.Position())
+		if spec.Profile.Kind == behavior.Malicious {
+			e.malicious = append(e.malicious, id)
+		} else {
+			e.honest = append(e.honest, id)
+		}
+	}
+	if cfg.ContactTrace != nil {
+		if int(cfg.ContactTrace.MaxNode()) >= len(e.nodes) {
+			return nil, fmt.Errorf("core: contact trace references node %v but the network has %d nodes",
+				cfg.ContactTrace.MaxNode(), len(e.nodes))
+		}
+		e.traceCursor = trace.NewCursor(cfg.ContactTrace)
+	}
+	e.runner.AddTicker(sim.TickerFunc(e.tick))
+	e.scheduleWorkload()
+	return e, nil
+}
+
+// defaultTagger picks an enrichment behaviour matching the node's
+// disposition: malicious nodes forge tags, everyone else occasionally adds
+// genuine supplementary keywords.
+func (e *Engine) defaultTagger(p behavior.Profile) enrich.Tagger {
+	if !e.cfg.enrichmentActive() || e.cfg.Workload.Vocab == nil {
+		return enrich.NopTagger{}
+	}
+	if p.Kind == behavior.Malicious {
+		return &enrich.MaliciousTagger{Vocab: e.cfg.Workload.Vocab, TagProb: 0.5, MaxTags: 3}
+	}
+	return &enrich.HonestTagger{KnowProb: 0.3, MaxTags: 2}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Nodes returns the network's nodes in ID order.
+func (e *Engine) Nodes() []*Node {
+	out := make([]*Node, len(e.nodes))
+	copy(out, e.nodes)
+	return out
+}
+
+// Node returns one node, or nil for an unknown ID.
+func (e *Engine) Node(id ident.NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(e.nodes) {
+		return nil
+	}
+	return e.nodes[id]
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.runner.Clock().Now() }
+
+// Collector exposes the live metrics (examples print from it mid-run).
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// Ledger exposes the token ledger.
+func (e *Engine) Ledger() *incentive.Ledger { return e.ledger }
+
+// record forwards an event to the configured recorder, if any.
+func (e *Engine) record(ev report.Event) {
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(ev)
+	}
+}
+
+// Run executes the configured duration and returns the run result.
+func (e *Engine) Run(ctx context.Context) (Result, error) {
+	if _, err := e.runner.Run(ctx, e.cfg.Duration); err != nil {
+		return Result{}, err
+	}
+	return e.result(), nil
+}
+
+// RunFor advances the simulation by d without producing a final result;
+// examples use it to interleave narration with simulation.
+func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
+	target := e.runner.Clock().Now() + d
+	for e.runner.Clock().Now() < target {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		e.runner.RunSteps(1)
+	}
+	return nil
+}
+
+// Result summarises the run so far.
+func (e *Engine) Result() Result { return e.result() }
+
+func (e *Engine) result() Result {
+	r := Result{
+		Report:          e.collector.Snapshot(),
+		Scheme:          e.cfg.Scheme,
+		Nodes:           len(e.nodes),
+		LedgerTransfers: e.ledger.Transfers(),
+		LedgerVolume:    e.ledger.Volume(),
+	}
+	if len(e.nodes) == 0 {
+		return r
+	}
+	minB, maxB := e.nodes[0].wallet.Balance(), e.nodes[0].wallet.Balance()
+	var sum, energy float64
+	for _, n := range e.nodes {
+		b := n.wallet.Balance()
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+		sum += b
+		energy += n.energy.Total()
+		if b < 1 {
+			r.ExhaustedNodes++
+		}
+		if n.batteryDead(e.cfg.BatteryJoules) {
+			r.DeadRadios++
+		}
+	}
+	r.TokensMin = minB
+	r.TokensMax = maxB
+	r.TokensMean = sum / float64(len(e.nodes))
+	r.EnergyJoules = energy
+	return r
+}
+
+// tick is the per-step pipeline: move, detect contacts, exchange/route on
+// schedule, progress transfers, and run the periodic samplers.
+func (e *Engine) tick(now time.Duration) {
+	e.tickNo++
+	if e.traceCursor == nil {
+		// Trace replays define connectivity directly; geometry is moot.
+		e.moveNodes()
+	}
+	e.updateContacts(now)
+	e.progressContacts(now)
+	if e.cfg.RatingSampleInterval > 0 && now >= e.nextSample {
+		e.sampleMaliciousRating(now)
+		e.nextSample = now + e.cfg.RatingSampleInterval
+	}
+	if e.cfg.MessageTTL > 0 && now >= e.nextExpiry {
+		for _, n := range e.nodes {
+			n.buf.ExpireAt(now)
+		}
+		e.nextExpiry = now + time.Minute
+	}
+}
+
+func (e *Engine) moveNodes() {
+	step := e.runner.Clock().Step()
+	for _, n := range e.nodes {
+		e.grid.Upsert(n.id, n.model.Advance(step))
+	}
+}
+
+// updateContacts diffs the in-range pair set against the live contact set,
+// creating and tearing down contacts. In trace mode the pair set comes from
+// the replay cursor instead of the spatial grid.
+func (e *Engine) updateContacts(now time.Duration) {
+	if e.traceCursor != nil {
+		e.updateTraceContacts(now)
+		return
+	}
+	e.pairScratch = e.grid.Pairs(e.pairScratch[:0], e.cfg.Radio.Range)
+	for _, p := range e.pairScratch {
+		if c, ok := e.contacts[p]; ok {
+			c.seen = e.tickNo
+			continue
+		}
+		e.contactUp(p, now)
+	}
+	// Tear down lapsed contacts and compact the ordered list in one pass;
+	// iterating the slice (not the map) keeps runs deterministic.
+	live := e.contactList[:0]
+	for _, c := range e.contactList {
+		if c.seen != e.tickNo {
+			e.contactDown(c)
+			continue
+		}
+		live = append(live, c)
+	}
+	e.contactList = live
+}
+
+// updateTraceContacts advances the replay cursor and mirrors its up/down
+// transitions onto the live contact set.
+func (e *Engine) updateTraceContacts(now time.Duration) {
+	up, down := e.traceCursor.AdvanceTo(now)
+	for _, ct := range up {
+		p := world.Pair{Lo: ct.A, Hi: ct.B}
+		if c, ok := e.contacts[p]; ok {
+			c.seen = e.tickNo
+			continue
+		}
+		e.contactUp(p, now)
+	}
+	downSet := make(map[world.Pair]bool, len(down))
+	for _, ct := range down {
+		downSet[world.Pair{Lo: ct.A, Hi: ct.B}] = true
+	}
+	live := e.contactList[:0]
+	for _, c := range e.contactList {
+		if downSet[c.pair] {
+			e.contactDown(c)
+			continue
+		}
+		c.seen = e.tickNo
+		live = append(live, c)
+	}
+	e.contactList = live
+}
+
+func (e *Engine) contactUp(p world.Pair, now time.Duration) {
+	a, b := e.nodes[p.Lo], e.nodes[p.Hi]
+	c := &contact{pair: p, a: a, b: b, seen: e.tickNo, startedAt: now, lastExchange: now, lastGossip: now}
+	// The selfish model: "a selfish node has its communication medium open
+	// one out of ten times when it encounters another node". A node whose
+	// radio energy budget is exhausted cannot open at all.
+	if a.killed || b.killed || a.batteryDead(e.cfg.BatteryJoules) || b.batteryDead(e.cfg.BatteryJoules) {
+		c.open = false
+	} else {
+		c.open = a.profile.RadioOpen(a.rng) && b.profile.RadioOpen(b.rng)
+	}
+	e.contacts[p] = c
+	e.contactList = append(e.contactList, c)
+	if !c.open {
+		e.collector.RefusedRadioOff()
+		return
+	}
+	e.peersOf[a.id] = append(e.peersOf[a.id], c)
+	e.peersOf[b.id] = append(e.peersOf[b.id], c)
+	if e.cfg.reputationActive() {
+		e.gossipReputation(a, b)
+		e.gossipReputation(b, a)
+	}
+	if aware, ok := e.router.(routing.ContactAware); ok {
+		aware.OnContact(a, b, now)
+	}
+	e.record(report.Event{At: now, Kind: report.ContactUp, A: a.id, B: b.id})
+	e.runExchange(c, now, e.runner.Clock().Step())
+}
+
+func (e *Engine) contactDown(c *contact) {
+	delete(e.contacts, c.pair)
+	c.dead = true
+	if !c.open {
+		return
+	}
+	e.record(report.Event{At: e.runner.Clock().Now(), Kind: report.ContactDown, A: c.a.id, B: c.b.id})
+	if c.active != nil {
+		e.collector.TransferAborted()
+		e.record(report.Event{
+			At: e.runner.Clock().Now(), Kind: report.TransferAborted,
+			A: c.active.from.id, B: c.active.to.id, Msg: c.active.msg.ID,
+		})
+		c.active = nil
+	}
+	c.queue = nil
+	e.peersOf[c.a.id] = removeContact(e.peersOf[c.a.id], c)
+	e.peersOf[c.b.id] = removeContact(e.peersOf[c.b.id], c)
+}
+
+func removeContact(list []*contact, c *contact) []*contact {
+	for i, x := range list {
+		if x == c {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// progressContacts advances transfers and re-runs the RTSR exchange and
+// routing round on the configured interval.
+func (e *Engine) progressContacts(now time.Duration) {
+	for _, c := range e.contactList {
+		if !c.open || c.dead {
+			continue
+		}
+		if now-c.lastExchange >= e.cfg.ExchangeInterval {
+			e.runExchange(c, now, now-c.lastExchange)
+		}
+		if e.cfg.reputationActive() && e.cfg.GossipInterval > 0 && now-c.lastGossip >= e.cfg.GossipInterval {
+			c.lastGossip = now
+			e.gossipReputation(c.a, c.b)
+			e.gossipReputation(c.b, c.a)
+		}
+		e.progressTransfer(c, now)
+	}
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/scenario"
+)
+
+// BenchmarkEngineTick measures whole-engine throughput: simulated seconds
+// per wall-clock second at the paper's node density.
+func BenchmarkEngineTick(b *testing.B) {
+	spec := scenario.Default(core.SchemeIncentive)
+	spec.Nodes = 100
+	spec.AreaKm2 = 1
+	spec.Duration = 24 * time.Hour // never reached; we drive steps manually
+	spec.SelfishPercent = 20
+	spec.MeanMessageInterval = 30 * time.Minute
+	eng, err := scenario.BuildEngine(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: populate buffers and contacts.
+	if err := eng.RunFor(context.Background(), 10*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunFor(context.Background(), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBuild measures network construction at Table 5.1 scale.
+func BenchmarkEngineBuild(b *testing.B) {
+	spec := scenario.Default(core.SchemeIncentive)
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.BuildEngine(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

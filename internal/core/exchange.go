@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dtnsim/internal/interest"
+	"dtnsim/internal/routing"
+)
+
+// runExchange performs one RTSR + routing round over a contact: decay both
+// tables, exchange decayed snapshots, grow both tables, then run the
+// routing module in both directions and enqueue the negotiated transfers
+// (Paper I §2.2: "the ChitChat system first invokes the RTSR module ...
+// then invokes the message routing").
+//
+// grown is the contact age accounted this round (T_c − T_v accrues
+// incrementally across periodic exchanges, see interest.Params.GrowthRate).
+func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
+	c.lastExchange = now
+
+	// Decay → exchange → growth, fused into the allocation-light pairwise
+	// form (interest.ExchangeGrow preserves the phase ordering). Decay
+	// needs each side's full connected-peer set: an interest shared by any
+	// live neighbour holds its weight (Algorithm 1).
+	interest.ExchangeGrow(
+		c.a.table, c.b.table, c.a.id, c.b.id,
+		e.peerTables(c.a), e.peerTables(c.b),
+		now, grown,
+	)
+
+	// Routing phase, both directions.
+	e.routeDirection(c, c.a, c.b, now)
+	e.routeDirection(c, c.b, c.a, now)
+}
+
+// sortOffersFIFO reorders offers to destination-first, then message
+// creation order, dropping the priority/quality preference.
+func sortOffersFIFO(offers []routing.Offer) {
+	sort.SliceStable(offers, func(i, j int) bool {
+		if offers[i].Role != offers[j].Role {
+			return offers[i].Role > offers[j].Role
+		}
+		if offers[i].Msg.CreatedAt != offers[j].Msg.CreatedAt {
+			return offers[i].Msg.CreatedAt < offers[j].Msg.CreatedAt
+		}
+		return offers[i].Msg.ID < offers[j].Msg.ID
+	})
+}
+
+// peerTables collects the interest tables of all of n's open contacts.
+func (e *Engine) peerTables(n *Node) []*interest.Table {
+	contacts := e.peersOf[n.id]
+	tables := make([]*interest.Table, 0, len(contacts))
+	for _, c := range contacts {
+		tables = append(tables, c.other(n).table)
+	}
+	return tables
+}
+
+// routeDirection runs the routing module for u→v and enqueues the
+// negotiated transfers.
+func (e *Engine) routeDirection(c *contact, u, v *Node, now time.Duration) {
+	if u.buf.Len() == 0 {
+		return
+	}
+	offers := e.router.SelectOffers(u, v)
+	if !e.cfg.incentiveActive() {
+		// The baseline has no incentive-driven priority machinery:
+		// priority-ordered transmission is part of the paper's
+		// contribution (Figure 5.6), so plain ChitChat transmits in
+		// arrival order (destinations still before relays — that is
+		// routing, not prioritisation).
+		sortOffersFIFO(offers)
+	}
+	for _, offer := range offers {
+		if c.hasTransfer(offer.Msg, v) {
+			continue
+		}
+		t, ok := e.negotiate(u, v, offer, now)
+		if !ok {
+			continue
+		}
+		c.queue = append(c.queue, t)
+	}
+}
+
+// gossipReputation shares src's notable opinions with dst, implementing the
+// contact-time "RTSR+DR module shares ... encountered devices' reputations"
+// step. Only opinions that have moved away from the prior are worth
+// spreading, and the volume is capped per contact.
+func (e *Engine) gossipReputation(src, dst *Node) {
+	limit := e.cfg.GossipLimit
+	if limit == 0 {
+		return
+	}
+	initial := e.cfg.Reputation.InitialRating
+	shared := 0
+	for _, id := range src.rep.Known() {
+		if id == dst.id || id == src.id {
+			continue
+		}
+		r := src.rep.Rating(id)
+		if diff := r - initial; diff < 0.25 && diff > -0.25 {
+			continue
+		}
+		dst.rep.MergeSecondHand(id, r)
+		shared++
+		if shared >= limit {
+			return
+		}
+	}
+}

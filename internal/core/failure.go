@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+// Failure injection: experiments and tests can crash nodes mid-run (radio
+// permanently silent, buffered messages stranded) and later revive them.
+// This models device loss — destroyed hardware in the battlefield scenario,
+// drowned phones in the disaster scenario — which is distinct from selfish
+// behaviour (a choice) and battery death (earned): a crashed node gives no
+// signal and keeps its custody.
+
+// KillNode crashes a node at the current virtual time: all its live
+// contacts drop (aborting in-flight transfers) and it forms no new ones
+// until revived. Killing a dead node is a no-op.
+func (e *Engine) KillNode(id ident.NodeID) error {
+	n := e.Node(id)
+	if n == nil {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	if n.killed {
+		return nil
+	}
+	n.killed = true
+	// Tear down the node's live contacts immediately.
+	live := e.contactList[:0]
+	for _, c := range e.contactList {
+		if c.a == n || c.b == n {
+			e.contactDown(c)
+			continue
+		}
+		live = append(live, c)
+	}
+	e.contactList = live
+	return nil
+}
+
+// ReviveNode brings a crashed node back; it rejoins the network at its
+// current position on the next tick, with its buffer, wallet, interests,
+// and reputation intact (a rebooted device, not a new identity — the
+// whitewashing attack of re-registering for a fresh reputation is exactly
+// what identity-keyed reputation prevents).
+func (e *Engine) ReviveNode(id ident.NodeID) error {
+	n := e.Node(id)
+	if n == nil {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	n.killed = false
+	// Drop the node's closed contact records so in-range pairs re-form on
+	// the next tick instead of waiting for physical separation.
+	live := e.contactList[:0]
+	for _, c := range e.contactList {
+		if !c.open && (c.a == n || c.b == n) {
+			c.dead = true
+			delete(e.contacts, c.pair)
+			continue
+		}
+		live = append(live, c)
+	}
+	e.contactList = live
+	return nil
+}
+
+// Killed reports whether the node is currently crashed.
+func (e *Engine) Killed(id ident.NodeID) bool {
+	n := e.Node(id)
+	return n != nil && n.killed
+}
+
+// ScheduleKill arms a crash at virtual time at; experiments use it to
+// inject failures deterministically mid-run.
+func (e *Engine) ScheduleKill(id ident.NodeID, at time.Duration) error {
+	if e.Node(id) == nil {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	e.runner.Schedule(at, func(time.Duration) {
+		// The node's existence was checked above; ignore the impossible
+		// error.
+		_ = e.KillNode(id)
+	})
+	return nil
+}
+
+// ScheduleRevive arms a revival at virtual time at.
+func (e *Engine) ScheduleRevive(id ident.NodeID, at time.Duration) error {
+	if e.Node(id) == nil {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	e.runner.Schedule(at, func(time.Duration) {
+		_ = e.ReviveNode(id)
+	})
+	return nil
+}

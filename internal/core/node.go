@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"dtnsim/internal/behavior"
+	"dtnsim/internal/buffer"
+	"dtnsim/internal/enrich"
+	"dtnsim/internal/ident"
+	"dtnsim/internal/incentive"
+	"dtnsim/internal/interest"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/radio"
+	"dtnsim/internal/reputation"
+	"dtnsim/internal/routing"
+	"dtnsim/internal/sim"
+)
+
+// NodeSpec declares one node of the network.
+type NodeSpec struct {
+	// Role is the user's rank (R_u in the incentive formulas).
+	Role ident.Role
+	// Profile is the node's behavioural disposition.
+	Profile behavior.Profile
+	// Interests are the user's subscription keywords.
+	Interests []string
+	// Mobility supplies the trajectory; nil gets a RandomWaypoint walker
+	// over the configured area.
+	Mobility mobility.Model
+	// Tagger enriches in-transit content; nil gets the engine default
+	// (honest for cooperative/selfish nodes, malicious for malicious
+	// nodes) when enrichment is active, else NopTagger.
+	Tagger enrich.Tagger
+	// Class selects the node's message-generator population (Figure 5.6).
+	Class MessageClass
+}
+
+// Node is one simulated device: position, RTSR table, buffer, wallet,
+// reputation store, behaviour, and energy meter.
+type Node struct {
+	id      ident.NodeID
+	role    ident.Role
+	profile behavior.Profile
+	model   mobility.Model
+	table   *interest.Table
+	buf     *buffer.Store
+	wallet  *incentive.Wallet
+	rep     reputation.Model
+	tagger  enrich.Tagger
+	energy  radio.Energy
+	rng     *sim.RNG
+	msgSeq  int
+	class   MessageClass
+	killed  bool
+}
+
+var _ routing.NodeView = (*Node)(nil)
+
+func newNode(id ident.NodeID, spec NodeSpec, cfg Config, rng *sim.RNG, in *interest.Interner) (*Node, error) {
+	if err := spec.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	role := spec.Role
+	if role == 0 {
+		role = ident.RoleCivilian
+	}
+	if !role.Valid() {
+		return nil, fmt.Errorf("node %s: invalid role %d", id, int(role))
+	}
+	table, err := interest.NewTable(cfg.Interest, in)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	for _, kw := range spec.Interests {
+		table.DeclareDirect(kw, 0)
+	}
+	buf, err := buffer.New(cfg.BufferCapacity, cfg.bufferPolicy())
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	wallet, err := incentive.NewWallet(id, cfg.Incentive.InitialTokens)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	rep, err := newReputationModel(id, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	tagger := spec.Tagger
+	if tagger == nil {
+		tagger = enrich.NopTagger{}
+	}
+	return &Node{
+		id:      id,
+		role:    role,
+		profile: spec.Profile,
+		model:   spec.Mobility,
+		table:   table,
+		buf:     buf,
+		wallet:  wallet,
+		rep:     rep,
+		tagger:  tagger,
+		rng:     rng,
+		class:   spec.Class,
+	}, nil
+}
+
+// ID implements routing.NodeView.
+func (n *Node) ID() ident.NodeID { return n.id }
+
+// Interests implements routing.NodeView.
+func (n *Node) Interests() *interest.Table { return n.table }
+
+// Buffer implements routing.NodeView.
+func (n *Node) Buffer() *buffer.Store { return n.buf }
+
+// Role returns the node's rank.
+func (n *Node) Role() ident.Role { return n.role }
+
+// Profile returns the behaviour profile.
+func (n *Node) Profile() behavior.Profile { return n.profile }
+
+// Wallet returns the node's token wallet.
+func (n *Node) Wallet() *incentive.Wallet { return n.wallet }
+
+// Reputation returns the node's reputation model.
+func (n *Node) Reputation() reputation.Model { return n.rep }
+
+// newReputationModel builds the configured reputation implementation. The
+// Beta comparator derives its scale parameters from the DRM params so the
+// two models judge on identical scales.
+func newReputationModel(id ident.NodeID, cfg Config) (reputation.Model, error) {
+	switch cfg.ReputationModel {
+	case ReputationDRM:
+		return reputation.NewStore(id, cfg.Reputation)
+	case ReputationBeta:
+		bp := reputation.DefaultBetaParams()
+		bp.Alpha = cfg.Reputation.Alpha
+		bp.MaxRating = cfg.Reputation.MaxRating
+		bp.MaxConfidence = cfg.Reputation.MaxConfidence
+		bp.AvoidBelow = cfg.Reputation.AvoidBelow
+		bp.MinObservations = cfg.Reputation.MinObservations
+		return reputation.NewBetaStore(id, bp)
+	default:
+		return nil, fmt.Errorf("core: unknown reputation model %d", int(cfg.ReputationModel))
+	}
+}
+
+// Energy returns the node's cumulative energy meter.
+func (n *Node) Energy() radio.Energy { return n.energy }
+
+// batteryDead reports whether the node's radio energy budget is exhausted.
+func (n *Node) batteryDead(budget float64) bool {
+	return budget > 0 && n.energy.Total() >= budget
+}
+
+// BatteryDead reports whether the node's radio died under the given budget
+// (zero budget = unlimited).
+func (n *Node) BatteryDead(budget float64) bool { return n.batteryDead(budget) }
+
+// nextMessageID mints the node's next message identifier.
+func (n *Node) nextMessageID() ident.MessageID {
+	n.msgSeq++
+	return ident.NewMessageID(n.id, n.msgSeq)
+}
+
+// maxBufferStats returns S_m and Q_m: the largest size and best quality
+// among buffered messages (Algorithm 3 normalises against these). Falls
+// back to the probe message's own values when the buffer is empty.
+func (n *Node) maxBufferStats(fallbackSize int64, fallbackQuality float64) (int64, float64) {
+	maxSize := fallbackSize
+	maxQ := fallbackQuality
+	for _, m := range n.buf.Messages() {
+		if m.Size > maxSize {
+			maxSize = m.Size
+		}
+		if m.Quality > maxQ {
+			maxQ = m.Quality
+		}
+	}
+	return maxSize, maxQ
+}

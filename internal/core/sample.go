@@ -1,0 +1,27 @@
+package core
+
+import "time"
+
+// sampleMaliciousRating records one Figure 5.4 point: the average, over all
+// non-malicious nodes, of their current rating of every malicious node
+// ("Average rating of malicious nodes in the non-malicious nodes is a
+// factor which can explain the overall capability of the developed
+// Distributed Reputation Model").
+func (e *Engine) sampleMaliciousRating(now time.Duration) {
+	if len(e.malicious) == 0 || len(e.honest) == 0 {
+		return
+	}
+	var sum float64
+	var count int
+	for _, h := range e.honest {
+		rep := e.nodes[h].rep
+		for _, m := range e.malicious {
+			sum += rep.Rating(m)
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	e.collector.SampleMaliciousRating(now, sum/float64(count))
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/scenario"
+)
+
+// SensitivityKnob names a design parameter the sensitivity analysis sweeps.
+type SensitivityKnob struct {
+	// Name labels the knob in output.
+	Name string
+	// Values are the settings to sweep.
+	Values []float64
+	// Apply mutates the built config for one setting. It runs after
+	// scenario.Build, so it can reach every engine parameter.
+	Apply func(cfg *core.Config, v float64)
+}
+
+// SensitivityKnobs returns the design-choice parameters DESIGN.md calls
+// out, with paper-plausible ranges around the defaults:
+//
+//   - reputation α (self-trust vs gossip, paper constraint α > 0.5);
+//   - relay threshold (Table 5.1's 0.8);
+//   - prepay fraction (the "percentage of incentive" left free);
+//   - tag reward z (0 < z < 1);
+//   - maximum incentive I_m.
+func SensitivityKnobs() []SensitivityKnob {
+	return []SensitivityKnob{
+		{
+			Name:   "alpha",
+			Values: []float64{0.55, 0.7, 0.9},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Reputation.Alpha = v },
+		},
+		{
+			Name:   "relay-threshold",
+			Values: []float64{0.5, 0.8, 0.95},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Incentive.RelayThreshold = v },
+		},
+		{
+			Name:   "prepay-fraction",
+			Values: []float64{0, 0.2, 0.5},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Incentive.PrepayFraction = v },
+		},
+		{
+			Name:   "tag-reward-z",
+			Values: []float64{0.05, 0.1, 0.3},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Incentive.TagRewardFraction = v },
+		},
+		{
+			Name:   "max-incentive",
+			Values: []float64{5, 10, 20},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Incentive.MaxIncentive = v },
+		},
+		{
+			// The RTSR growth-rate calibration (see interest.Params): the
+			// literal paper formula saturates within seconds (≈1), the
+			// default saturates after a minute of ψ=1 contact (1/60);
+			// slower rates keep tables differentiated longer in dense
+			// networks.
+			Name:   "growth-rate",
+			Values: []float64{1.0 / 300, 1.0 / 60, 1.0 / 10},
+			Apply:  func(cfg *core.Config, v float64) { cfg.Interest.GrowthRate = v },
+		},
+	}
+}
+
+// SensitivityPoint is one (knob, value) measurement.
+type SensitivityPoint struct {
+	Knob  string
+	Value float64
+	Avg   Avg
+}
+
+// Sensitivity sweeps every knob one-at-a-time around the default incentive
+// configuration (20% selfish, 10% malicious — a regime where every
+// mechanism is active) and reports MDR, traffic, and token refusals per
+// setting.
+func Sensitivity(ctx context.Context, p Profile) (Table, []SensitivityPoint, error) {
+	var points []SensitivityPoint
+	t := Table{
+		Title:   fmt.Sprintf("Sensitivity — one-at-a-time design-parameter sweep (%s profile)", p.Name),
+		Columns: []string{"knob", "value", "MDR", "±std", "relay", "refused(tokens)"},
+	}
+	for _, knob := range SensitivityKnobs() {
+		for _, v := range knob.Values {
+			avg, err := runSensitivityPoint(ctx, p, knob, v)
+			if err != nil {
+				return Table{}, nil, fmt.Errorf("knob %s=%v: %w", knob.Name, v, err)
+			}
+			points = append(points, SensitivityPoint{Knob: knob.Name, Value: v, Avg: avg})
+			t.Rows = append(t.Rows, []string{
+				knob.Name,
+				fmt.Sprintf("%.2f", v),
+				f3(avg.MDR),
+				f3(avg.MDRStd),
+				f0(avg.RelayTransfers),
+				f0(avg.RefusedTokens),
+			})
+		}
+	}
+	return t, points, nil
+}
+
+func runSensitivityPoint(ctx context.Context, p Profile, knob SensitivityKnob, v float64) (Avg, error) {
+	var avg Avg
+	for _, seed := range p.Seeds {
+		spec := p.baseSpec(core.SchemeIncentive)
+		spec.SelfishPercent = 20
+		spec.MaliciousPercent = 10
+		spec.Seed = seed
+		cfg, specs, err := scenario.Build(spec)
+		if err != nil {
+			return Avg{}, err
+		}
+		knob.Apply(&cfg, v)
+		eng, err := core.NewEngine(cfg, specs)
+		if err != nil {
+			return Avg{}, err
+		}
+		res, err := eng.Run(ctx)
+		if err != nil {
+			return Avg{}, err
+		}
+		avg.accumulate(res)
+	}
+	avg.finish()
+	return avg, nil
+}

@@ -1,0 +1,70 @@
+// Package ident defines the small identity types shared by every layer of
+// the simulator: node identifiers, message identifiers, and user roles.
+//
+// Keeping these in a leaf package avoids import cycles between the message,
+// reputation, incentive, and routing layers, all of which need to name nodes
+// and messages without depending on each other.
+package ident
+
+import "strconv"
+
+// NodeID uniquely identifies a device in the network. IDs are dense small
+// integers assigned by the scenario builder, which makes them usable as
+// slice indices in hot paths.
+type NodeID int
+
+// Nobody is the zero NodeID, used where "no node" is meaningful (e.g. the
+// originator field of a locally created message before it is stamped).
+const Nobody NodeID = -1
+
+// String returns the canonical textual form, e.g. "n42".
+func (id NodeID) String() string {
+	if id == Nobody {
+		return "n?"
+	}
+	return "n" + strconv.Itoa(int(id))
+}
+
+// MessageID uniquely identifies a message network-wide. The paper's message
+// format carries a UUID for deduplication; we use a deterministic
+// source-scoped identifier so simulation runs are reproducible.
+type MessageID string
+
+// NewMessageID builds the canonical message identifier for the seq-th
+// message created by src.
+func NewMessageID(src NodeID, seq int) MessageID {
+	return MessageID(src.String() + "-m" + strconv.Itoa(seq))
+}
+
+// Role is a user's rank in the deployment hierarchy (Paper I §3.2): 1 is the
+// top of the hierarchy (e.g. a sergeant in a battlefield deployment), larger
+// values rank lower (2 = soldier, and so on). Role feeds the software-factor
+// incentive: messages forwarded on behalf of higher-ranked users promise
+// more.
+type Role int
+
+const (
+	// RoleCommander is the top of the hierarchy (the paper's "Sergeant").
+	RoleCommander Role = 1
+	// RoleOperator is the second tier (the paper's "Soldier").
+	RoleOperator Role = 2
+	// RoleCivilian is the default tier for unranked participants.
+	RoleCivilian Role = 3
+)
+
+// Valid reports whether r is a usable rank (>= 1).
+func (r Role) Valid() bool { return r >= 1 }
+
+// String names the standard roles and falls back to "role-N".
+func (r Role) String() string {
+	switch r {
+	case RoleCommander:
+		return "commander"
+	case RoleOperator:
+		return "operator"
+	case RoleCivilian:
+		return "civilian"
+	default:
+		return "role-" + strconv.Itoa(int(r))
+	}
+}

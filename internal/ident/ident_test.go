@@ -1,0 +1,71 @@
+package ident
+
+import "testing"
+
+func TestNodeIDString(t *testing.T) {
+	tests := []struct {
+		id   NodeID
+		want string
+	}{
+		{NodeID(0), "n0"},
+		{NodeID(42), "n42"},
+		{Nobody, "n?"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("NodeID(%d).String() = %q, want %q", int(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestNewMessageID(t *testing.T) {
+	got := NewMessageID(NodeID(7), 3)
+	if got != "n7-m3" {
+		t.Errorf("NewMessageID(7, 3) = %q, want n7-m3", got)
+	}
+}
+
+func TestMessageIDsDistinctAcrossSources(t *testing.T) {
+	a := NewMessageID(NodeID(1), 2)
+	b := NewMessageID(NodeID(12), 2)
+	c := NewMessageID(NodeID(1), 3)
+	if a == b || a == c || b == c {
+		t.Errorf("message IDs collide: %q %q %q", a, b, c)
+	}
+}
+
+func TestRoleValid(t *testing.T) {
+	if !RoleCommander.Valid() || !RoleOperator.Valid() || !RoleCivilian.Valid() {
+		t.Error("standard roles must be valid")
+	}
+	if Role(0).Valid() {
+		t.Error("zero role must be invalid")
+	}
+	if Role(-1).Valid() {
+		t.Error("negative role must be invalid")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		r    Role
+		want string
+	}{
+		{RoleCommander, "commander"},
+		{RoleOperator, "operator"},
+		{RoleCivilian, "civilian"},
+		{Role(9), "role-9"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestRoleHierarchyOrdering(t *testing.T) {
+	// The incentive formulas depend on "lower number = higher rank".
+	if !(RoleCommander < RoleOperator && RoleOperator < RoleCivilian) {
+		t.Error("role constants must order commander < operator < civilian")
+	}
+}

@@ -1,0 +1,73 @@
+package incentive_test
+
+import (
+	"fmt"
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/incentive"
+	"dtnsim/internal/message"
+)
+
+// ExampleCalculator_Software reproduces Algorithm 3's else-branch: a
+// soldier (R_u = 2) forwarding a medium-priority message promises
+// I_s = (¼(S/S_m + Q/Q_m) + ½·P_v/(R_u·P_s))·I_m.
+func ExampleCalculator_Software() {
+	calc, err := incentive.NewCalculator(incentive.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	is, err := calc.Software(incentive.SoftwareFactors{
+		SumWeights:    0.6,
+		MaxSumWeights: 1.2,
+		Size:          512 << 10,
+		MaxSize:       1 << 20,
+		Quality:       0.4,
+		MaxQuality:    0.8,
+		SenderRole:    ident.RoleOperator,
+		ReceiverRole:  ident.RoleOperator,
+		Priority:      message.PriorityMedium,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("I_s = %.3f tokens\n", is)
+	// Output: I_s = 3.125 tokens
+}
+
+// ExampleLedger_Pay shows the token transfer with the conservation
+// property: tokens move, they are never minted.
+func ExampleLedger_Pay() {
+	ledger := incentive.NewLedger()
+	dest, _ := incentive.NewWallet(1, 200)
+	deliverer, _ := incentive.NewWallet(2, 200)
+	if err := ledger.Pay(dest, deliverer, 3.5); err != nil {
+		panic(err)
+	}
+	fmt.Printf("destination %.1f, deliverer %.1f, total %.1f\n",
+		dest.Balance(), deliverer.Balance(), dest.Balance()+deliverer.Balance())
+	// Output: destination 196.5, deliverer 203.5, total 400.0
+}
+
+// ExampleCalculator_TagReward prices content enrichment: two relevant tags
+// at z = 0.1 of I_m = 10.
+func ExampleCalculator_TagReward() {
+	calc, err := incentive.NewCalculator(incentive.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("I_t = %.1f tokens\n", calc.TagReward(2))
+	// Output: I_t = 2.0 tokens
+}
+
+// ExampleCalculator_HardwareRelay shows the Friis-based energy
+// compensation for a relay (receive + transmit).
+func ExampleCalculator_HardwareRelay() {
+	calc, err := incentive.NewCalculator(incentive.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	ih := calc.HardwareRelay(0.1, 0.02, 10*time.Second)
+	fmt.Printf("I_h = %.2f tokens\n", ih)
+	// Output: I_h = 0.06 tokens
+}

@@ -1,0 +1,39 @@
+package interest_test
+
+import (
+	"fmt"
+	"time"
+
+	"dtnsim/internal/interest"
+)
+
+// ExampleTable_Decay reproduces the thesis's worked decay example
+// (Paper I §2.3): a direct interest at weight 0.6, β = 2, last shared five
+// seconds ago decays to (0.6−0.5)/(2·5) + 0.5 = 0.51.
+func ExampleTable_Decay() {
+	table, err := interest.NewTable(interest.DefaultParams(), interest.NewInterner())
+	if err != nil {
+		panic(err)
+	}
+	table.DeclareDirect("food coupon", 0)
+	table.Entry("food coupon").Weight = 0.6
+
+	table.Decay(5*time.Second, nil)
+	fmt.Printf("W_n = %.2f\n", table.Weight("food coupon"))
+	// Output: W_n = 0.51
+}
+
+// ExampleTable_SumWeights shows the ChitChat routing quantity S: the sum
+// of a device's interest weights over a message's keywords.
+func ExampleTable_SumWeights() {
+	table, err := interest.NewTable(interest.DefaultParams(), interest.NewInterner())
+	if err != nil {
+		panic(err)
+	}
+	table.DeclareDirect("flood", 0)
+	table.DeclareDirect("casualties", 0)
+
+	s := table.SumWeights([]string{"flood", "casualties", "unknown"})
+	fmt.Printf("S = %.1f\n", s)
+	// Output: S = 1.0
+}

@@ -1,0 +1,381 @@
+// Package interest implements ChitChat's Real-time Transient Social
+// Relationship (RTSR) modelling (Paper I §2.3): each device keeps a table of
+// keyword interests with weights in [0, 1]. Direct interests are declared by
+// the user (subscription keywords) and decay toward their initial 0.5;
+// transient interests are acquired from encountered devices and decay toward
+// zero. While devices are connected, shared interests grow according to the
+// growth model, weighted by the ψ case factor.
+//
+// Tables are keyed internally by interned keyword IDs (see Interner); the
+// public API speaks strings.
+package interest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+const (
+	// InitialWeight is the weight assigned when a user first declares an
+	// interest ("it's weight is set to 0.5").
+	InitialWeight = 0.5
+	// MaxWeight caps all weights ("Maximum allowed value for the weight
+	// is 1").
+	MaxWeight = 1.0
+)
+
+// Params tunes the RTSR model.
+type Params struct {
+	// Beta is the decay constant β in W_n = (W_p-0.5)/(β·ΔT)+0.5. The
+	// paper's worked example uses β = 2 over ΔT in seconds.
+	Beta float64
+	// GrowthRate scales the growth model's contact-age term. The printed
+	// formula Δ += w_v(I)·(T_c-T_v)/ψ measures contact age in raw seconds
+	// and saturates any shared interest within seconds; GrowthRate r
+	// applies Δ += w_v(I)·r·Δt/ψ per exchange interval Δt, so r = 1/60
+	// saturates a fully-shared (w_v = 1, ψ = 1) interest after one minute
+	// of contact. Set r = 1 to recover the literal formula.
+	GrowthRate float64
+	// PruneBelow drops transient entries whose weight decays under this
+	// threshold, bounding table growth over a 24 h run.
+	PruneBelow float64
+}
+
+// DefaultParams returns the calibration used by the paper-scale scenarios.
+func DefaultParams() Params {
+	return Params{Beta: 2, GrowthRate: 1.0 / 60.0, PruneBelow: 0.01}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Beta <= 0:
+		return fmt.Errorf("interest: beta must be positive, got %v", p.Beta)
+	case p.GrowthRate <= 0:
+		return fmt.Errorf("interest: growth rate must be positive, got %v", p.GrowthRate)
+	case p.PruneBelow < 0 || p.PruneBelow >= InitialWeight:
+		return fmt.Errorf("interest: prune threshold must be in [0, 0.5), got %v", p.PruneBelow)
+	}
+	return nil
+}
+
+// Entry is one interest row.
+type Entry struct {
+	// Weight is the current strength in [0, MaxWeight].
+	Weight float64
+	// Direct marks a user-declared subscription keyword; false means the
+	// interest is transient (acquired from an encounter).
+	Direct bool
+	// LastShared is T_l: the latest time a connected device shared this
+	// interest. Decay measures elapsed time from here.
+	LastShared time.Duration
+	// AcquiredFrom records the device a transient interest came from (the
+	// demo app shows this as the MAC address column; SELF for direct).
+	AcquiredFrom ident.NodeID
+}
+
+// Table is one device's interest table. Not safe for concurrent use.
+type Table struct {
+	params Params
+	in     *Interner
+	rows   []*Entry // indexed by keyword ID; nil = absent
+	active []int32  // IDs with live entries, ascending
+}
+
+// NewTable creates an empty table sharing the given interner. Every table
+// in a run must share one interner.
+func NewTable(params Params, in *Interner) (*Table, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, fmt.Errorf("interest: table requires an interner")
+	}
+	return &Table{params: params, in: in}, nil
+}
+
+// Interner returns the shared keyword interner.
+func (t *Table) Interner() *Interner { return t.in }
+
+func (t *Table) row(id int32) *Entry {
+	if int(id) >= len(t.rows) {
+		return nil
+	}
+	return t.rows[id]
+}
+
+func (t *Table) insert(id int32, e *Entry) {
+	for int(id) >= len(t.rows) {
+		t.rows = append(t.rows, nil)
+	}
+	t.rows[id] = e
+	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
+	t.active = append(t.active, 0)
+	copy(t.active[i+1:], t.active[i:])
+	t.active[i] = id
+}
+
+func (t *Table) remove(id int32) {
+	if int(id) >= len(t.rows) || t.rows[id] == nil {
+		return
+	}
+	t.rows[id] = nil
+	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
+	if i < len(t.active) && t.active[i] == id {
+		t.active = append(t.active[:i], t.active[i+1:]...)
+	}
+}
+
+// DeclareDirect subscribes the device to a keyword at InitialWeight. If the
+// keyword exists as transient it is promoted to direct, keeping the higher
+// of its current weight and InitialWeight.
+func (t *Table) DeclareDirect(kw string, now time.Duration) {
+	id := t.in.ID(kw)
+	if e := t.row(id); e != nil {
+		e.Direct = true
+		e.AcquiredFrom = ident.Nobody
+		if e.Weight < InitialWeight {
+			e.Weight = InitialWeight
+		}
+		return
+	}
+	t.insert(id, &Entry{
+		Weight:       InitialWeight,
+		Direct:       true,
+		LastShared:   now,
+		AcquiredFrom: ident.Nobody,
+	})
+}
+
+// Acquire records a transient interest learned from a peer, starting at
+// weight zero (growth will raise it while the contact lasts).
+func (t *Table) Acquire(kw string, from ident.NodeID, now time.Duration) {
+	id := t.in.ID(kw)
+	if t.row(id) != nil {
+		return
+	}
+	t.insert(id, &Entry{
+		Weight:       0,
+		Direct:       false,
+		LastShared:   now,
+		AcquiredFrom: from,
+	})
+}
+
+// Len returns the number of interests (direct + transient).
+func (t *Table) Len() int { return len(t.active) }
+
+// Keywords returns all keywords in lexicographic order.
+func (t *Table) Keywords() []string {
+	out := make([]string, len(t.active))
+	for i, id := range t.active {
+		out[i] = t.in.Word(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entry returns the row for kw, or nil.
+func (t *Table) Entry(kw string) *Entry {
+	id, ok := t.in.Lookup(kw)
+	if !ok {
+		return nil
+	}
+	return t.row(id)
+}
+
+// Has reports whether the table holds kw (direct or transient).
+func (t *Table) Has(kw string) bool { return t.Entry(kw) != nil }
+
+// Weight returns the current weight for kw (zero when absent).
+func (t *Table) Weight(kw string) float64 {
+	if e := t.Entry(kw); e != nil {
+		return e.Weight
+	}
+	return 0
+}
+
+// HasDirect reports whether kw is a user-declared interest.
+func (t *Table) HasDirect(kw string) bool {
+	e := t.Entry(kw)
+	return e != nil && e.Direct
+}
+
+// SumWeights returns S: the sum of weights over the given keywords, the
+// quantity ChitChat's routing rule compares between sender and receiver
+// ("forward M to v if S_v > S_u").
+func (t *Table) SumWeights(keywords []string) float64 {
+	var s float64
+	for _, kw := range keywords {
+		s += t.Weight(kw)
+	}
+	return s
+}
+
+// SumWeightsIDs is the interned-ID fast path of SumWeights.
+func (t *Table) SumWeightsIDs(ids []int32) float64 {
+	var s float64
+	for _, id := range ids {
+		if e := t.row(id); e != nil {
+			s += e.Weight
+		}
+	}
+	return s
+}
+
+// HasDirectAnyID reports whether any of the IDs is a direct interest — the
+// ChitChat destination test.
+func (t *Table) HasDirectAnyID(ids []int32) bool {
+	for _, id := range ids {
+		if e := t.row(id); e != nil && e.Direct {
+			return true
+		}
+	}
+	return false
+}
+
+// MeanWeight returns the average weight over the keywords (zero for an
+// empty list). The relay-threshold prepayment compares this to 0.8.
+func (t *Table) MeanWeight(keywords []string) float64 {
+	if len(keywords) == 0 {
+		return 0
+	}
+	return t.SumWeights(keywords) / float64(len(keywords))
+}
+
+// MeanWeightIDs is the interned-ID fast path of MeanWeight.
+func (t *Table) MeanWeightIDs(ids []int32) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	return t.SumWeightsIDs(ids) / float64(len(ids))
+}
+
+// Decay applies the decay algorithm (Paper I, Algorithm 1) at time now.
+// connected is the union of keywords shared by currently connected devices:
+// those entries keep their weight and refresh T_l; the rest decay.
+//
+// Edge-case guard (documented in DESIGN.md): the printed divisor β·(T_c-T_l)
+// amplifies weights when below one (e.g. a sub-second gap); we clamp the
+// divisor to at least 1 so decay is monotone non-increasing.
+func (t *Table) Decay(now time.Duration, connected map[string]bool) {
+	var prune []int32
+	for _, id := range t.active {
+		e := t.rows[id]
+		if connected[t.in.Word(id)] {
+			e.LastShared = now
+			continue
+		}
+		if t.decayRow(e, now) {
+			prune = append(prune, id)
+		}
+	}
+	for _, id := range prune {
+		t.remove(id)
+	}
+}
+
+// decayRow applies the decay formula to one entry and reports whether the
+// (transient) entry fell below the prune threshold.
+func (t *Table) decayRow(e *Entry, now time.Duration) bool {
+	div := t.params.Beta * (now - e.LastShared).Seconds()
+	if div < 1 {
+		return false
+	}
+	if e.Direct {
+		e.Weight = (e.Weight-InitialWeight)/div + InitialWeight
+		return false
+	}
+	e.Weight = e.Weight / div
+	return e.Weight < t.params.PruneBelow
+}
+
+// PeerView is the decayed weight snapshot a connected device shares during
+// the RTSR exchange.
+type PeerView struct {
+	// Peer identifies the connected device.
+	Peer ident.NodeID
+	// ConnectedFor is T_c - T_v: how long this contact has lasted. With
+	// periodic exchanges the engine passes the interval since the previous
+	// exchange so growth accrues incrementally.
+	ConnectedFor time.Duration
+	// Weights maps keyword → (weight, direct?) as shared by the peer.
+	Weights map[string]PeerWeight
+}
+
+// PeerWeight is one shared interest row.
+type PeerWeight struct {
+	Weight float64
+	Direct bool
+}
+
+// Grow applies the growth algorithm (Paper I, Algorithm 2) with the views of
+// all currently connected peers. Unknown keywords shared by peers are first
+// acquired as transient interests, then grown — this is how "interests of
+// the connected devices can be acquired" (Paper II §3.2).
+func (t *Table) Grow(now time.Duration, peers []PeerView) {
+	// Acquire unknown keywords first so Δ accrues for them this round.
+	for _, pv := range peers {
+		for kw := range pv.Weights {
+			if !t.Has(kw) {
+				t.Acquire(kw, pv.Peer, now)
+			}
+		}
+	}
+	for _, id := range t.active {
+		e := t.rows[id]
+		kw := t.in.Word(id)
+		var delta float64
+		shared := false
+		for _, pv := range peers {
+			w, ok := pv.Weights[kw]
+			if !ok {
+				continue
+			}
+			shared = true
+			psi := psiCase(e.Direct, w.Direct)
+			delta += w.Weight * t.params.GrowthRate * pv.ConnectedFor.Seconds() / float64(psi)
+		}
+		if shared {
+			e.LastShared = now
+		}
+		e.Weight += delta
+		if e.Weight > MaxWeight {
+			e.Weight = MaxWeight
+		}
+	}
+}
+
+// Snapshot exports the table for the RTSR exchange.
+func (t *Table) Snapshot() map[string]PeerWeight {
+	out := make(map[string]PeerWeight, len(t.active))
+	for _, id := range t.active {
+		e := t.rows[id]
+		out[t.in.Word(id)] = PeerWeight{Weight: e.Weight, Direct: e.Direct}
+	}
+	return out
+}
+
+// psiCase maps the (local direct?, peer direct?) combination to the paper's
+// ψ ∈ {1..6}. The paper spells out two cases ("if both u and v have I as a
+// direct interest, ψ is 1; if u has a direct interest and v has a transient
+// interest, ψ is 2"); the remaining assignments extend the pattern: growth
+// is fastest when both sides truly care, slowest when the interest is
+// second-hand on both sides. Cases 5 and 6 (u does not yet hold I) apply to
+// freshly acquired entries, which Grow creates as transient before the loop,
+// so they are reached via the transient rows' first growth round.
+func psiCase(localDirect, peerDirect bool) int {
+	switch {
+	case localDirect && peerDirect:
+		return 1
+	case localDirect && !peerDirect:
+		return 2
+	case !localDirect && peerDirect:
+		return 3
+	default:
+		return 4
+	}
+}

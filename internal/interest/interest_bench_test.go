@@ -1,0 +1,55 @@
+package interest
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dtnsim/internal/sim"
+)
+
+func benchTables(b *testing.B, interests int) (*Table, *Table) {
+	b.Helper()
+	in := NewInterner()
+	rng := sim.NewRNG(1)
+	a, err := NewTable(DefaultParams(), in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t2, err := NewTable(DefaultParams(), in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < interests; i++ {
+		kw := "kw-" + strconv.Itoa(rng.Intn(200))
+		if rng.Coin(0.5) {
+			a.DeclareDirect(kw, 0)
+		} else {
+			t2.DeclareDirect(kw, 0)
+		}
+	}
+	return a, t2
+}
+
+// BenchmarkExchangeGrow measures one pairwise RTSR exchange with
+// Table 5.1-sized tables (20 interests per node).
+func BenchmarkExchangeGrow(b *testing.B) {
+	a, t2 := benchTables(b, 40)
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 10 * time.Second
+		ExchangeGrow(a, t2, 1, 2, []*Table{t2}, []*Table{a}, now, 10*time.Second)
+	}
+}
+
+// BenchmarkSumWeightsIDs measures the routing rule's weight sum on the
+// interned fast path.
+func BenchmarkSumWeightsIDs(b *testing.B) {
+	a, _ := benchTables(b, 40)
+	ids := a.Interner().IDs(nil, []string{"kw-1", "kw-2", "kw-3", "kw-4", "kw-5", "kw-6"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.SumWeightsIDs(ids)
+	}
+}

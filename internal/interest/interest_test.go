@@ -1,0 +1,333 @@
+package interest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable(DefaultParams(), NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Beta: 0, GrowthRate: 1, PruneBelow: 0},
+		{Beta: 2, GrowthRate: 0, PruneBelow: 0},
+		{Beta: 2, GrowthRate: 1, PruneBelow: 0.5},
+		{Beta: 2, GrowthRate: 1, PruneBelow: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate should fail", i)
+		}
+	}
+}
+
+func TestNewTableRequiresInterner(t *testing.T) {
+	if _, err := NewTable(DefaultParams(), nil); err == nil {
+		t.Error("nil interner must fail")
+	}
+}
+
+func TestDeclareDirectInitialWeight(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("food", 0)
+	if w := tab.Weight("food"); w != InitialWeight {
+		t.Errorf("weight = %v, want %v", w, InitialWeight)
+	}
+	if !tab.HasDirect("food") {
+		t.Error("declared interest must be direct")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestAcquireStartsAtZeroTransient(t *testing.T) {
+	tab := newTable(t)
+	tab.Acquire("news", ident.NodeID(5), time.Second)
+	e := tab.Entry("news")
+	if e == nil {
+		t.Fatal("entry missing")
+	}
+	if e.Weight != 0 || e.Direct || e.AcquiredFrom != ident.NodeID(5) {
+		t.Errorf("entry = %+v", e)
+	}
+	// Acquiring again is a no-op.
+	tab.Acquire("news", ident.NodeID(9), 2*time.Second)
+	if tab.Entry("news").AcquiredFrom != ident.NodeID(5) {
+		t.Error("re-acquire overwrote provenance")
+	}
+}
+
+func TestPromoteTransientToDirect(t *testing.T) {
+	tab := newTable(t)
+	tab.Acquire("news", ident.NodeID(5), 0)
+	tab.Entry("news").Weight = 0.2
+	tab.DeclareDirect("news", time.Second)
+	e := tab.Entry("news")
+	if !e.Direct {
+		t.Error("promotion failed")
+	}
+	if e.Weight != InitialWeight {
+		t.Errorf("promoted weight = %v, want raised to %v", e.Weight, InitialWeight)
+	}
+	// Promotion must keep a higher existing weight.
+	tab.Acquire("hot", ident.NodeID(5), 0)
+	tab.Entry("hot").Weight = 0.9
+	tab.DeclareDirect("hot", time.Second)
+	if w := tab.Weight("hot"); w != 0.9 {
+		t.Errorf("promoted weight = %v, want 0.9 kept", w)
+	}
+}
+
+// TestDecayPaperExample reproduces the worked example from Paper I §2.3:
+// direct interest "food coupon" at weight 0.6, β = 2, last shared 5 s ago:
+// W_n = (0.6-0.5)/(2·5) + 0.5 = 0.51.
+//
+// (The thesis text says "= 0.55" but (0.6-0.5)/10 + 0.5 is 0.51 — the
+// printed arithmetic drops a factor; we implement the formula as printed,
+// so the expected value here is 0.51.)
+func TestDecayPaperExample(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("food coupon", 0)
+	tab.Entry("food coupon").Weight = 0.6
+	tab.Entry("food coupon").LastShared = 0
+	tab.Decay(5*time.Second, nil)
+	want := (0.6-0.5)/(2*5) + 0.5
+	if got := tab.Weight("food coupon"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("decayed weight = %v, want %v", got, want)
+	}
+}
+
+func TestDecayDirectApproachesHalf(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Entry("a").Weight = 1.0
+	tab.Decay(1000*time.Second, nil)
+	w := tab.Weight("a")
+	if w < 0.5 || w > 0.51 {
+		t.Errorf("long-decayed direct weight = %v, want ≈0.5 from above", w)
+	}
+}
+
+func TestDecayTransientApproachesZeroAndPrunes(t *testing.T) {
+	tab := newTable(t)
+	tab.Acquire("a", 1, 0)
+	tab.Entry("a").Weight = 0.4
+	tab.Decay(1000*time.Second, nil)
+	if tab.Has("a") {
+		t.Error("deep-decayed transient entry should be pruned")
+	}
+}
+
+func TestDecayConnectedKeywordHolds(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Entry("a").Weight = 0.9
+	tab.Decay(100*time.Second, map[string]bool{"a": true})
+	if w := tab.Weight("a"); w != 0.9 {
+		t.Errorf("connected keyword decayed: %v", w)
+	}
+	// And T_l must refresh, so a subsequent decay measures from now.
+	tab.Decay(101*time.Second, nil)
+	if w := tab.Weight("a"); w != 0.9 {
+		// div = 2*(101-100) = 2 → (0.9-0.5)/2+0.5 = 0.7
+		if math.Abs(w-0.7) > 1e-12 {
+			t.Errorf("post-refresh decay = %v, want 0.7", w)
+		}
+	}
+}
+
+func TestDecayGuardSubUnitDivisor(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Entry("a").Weight = 0.6
+	// β·ΔT = 2·0.25 = 0.5 < 1 would amplify; the guard keeps the weight.
+	tab.Decay(250*time.Millisecond, nil)
+	if w := tab.Weight("a"); w != 0.6 {
+		t.Errorf("sub-unit divisor changed weight to %v", w)
+	}
+}
+
+func TestGrowthSharedInterest(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	view := PeerView{
+		Peer:         ident.NodeID(2),
+		ConnectedFor: time.Minute,
+		Weights:      map[string]PeerWeight{"a": {Weight: 0.5, Direct: true}},
+	}
+	tab.Grow(time.Minute, []PeerView{view})
+	// Δ = 0.5 · (1/60) · 60 / ψ=1 = 0.5 → 1.0 capped at 1.
+	if w := tab.Weight("a"); math.Abs(w-1.0) > 1e-12 {
+		t.Errorf("grown weight = %v, want 1.0", w)
+	}
+}
+
+func TestGrowthPsiCases(t *testing.T) {
+	tests := []struct {
+		local, peer bool
+		want        int
+	}{
+		{true, true, 1},
+		{true, false, 2},
+		{false, true, 3},
+		{false, false, 4},
+	}
+	for _, tt := range tests {
+		if got := psiCase(tt.local, tt.peer); got != tt.want {
+			t.Errorf("psiCase(%v, %v) = %d, want %d", tt.local, tt.peer, got, tt.want)
+		}
+	}
+}
+
+func TestGrowthAcquiresUnknownKeywords(t *testing.T) {
+	tab := newTable(t)
+	view := PeerView{
+		Peer:         ident.NodeID(3),
+		ConnectedFor: 30 * time.Second,
+		Weights:      map[string]PeerWeight{"new": {Weight: 0.8, Direct: true}},
+	}
+	tab.Grow(time.Minute, []PeerView{view})
+	e := tab.Entry("new")
+	if e == nil {
+		t.Fatal("unknown keyword not acquired")
+	}
+	if e.Direct {
+		t.Error("acquired interest must be transient")
+	}
+	if e.AcquiredFrom != ident.NodeID(3) {
+		t.Errorf("provenance = %v", e.AcquiredFrom)
+	}
+	if e.Weight <= 0 {
+		t.Error("acquired interest must grow in the same round")
+	}
+}
+
+func TestWeightsCappedAtMax(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Entry("a").Weight = 0.99
+	view := PeerView{
+		Peer:         ident.NodeID(2),
+		ConnectedFor: time.Hour,
+		Weights:      map[string]PeerWeight{"a": {Weight: 1, Direct: true}},
+	}
+	tab.Grow(time.Hour, []PeerView{view})
+	if w := tab.Weight("a"); w > MaxWeight {
+		t.Errorf("weight %v exceeds cap", w)
+	}
+}
+
+func TestSumAndMeanWeights(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.DeclareDirect("b", 0)
+	kws := []string{"a", "b", "missing"}
+	if s := tab.SumWeights(kws); math.Abs(s-1.0) > 1e-12 {
+		t.Errorf("SumWeights = %v, want 1.0", s)
+	}
+	if m := tab.MeanWeight(kws); math.Abs(m-1.0/3) > 1e-12 {
+		t.Errorf("MeanWeight = %v, want 1/3", m)
+	}
+	if tab.MeanWeight(nil) != 0 {
+		t.Error("MeanWeight(nil) must be 0")
+	}
+}
+
+func TestIDFastPathsMatchStringPaths(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Acquire("b", 1, 0)
+	tab.Entry("b").Weight = 0.3
+	in := tab.Interner()
+	kws := []string{"a", "b", "c"}
+	ids := in.IDs(nil, kws)
+	if got, want := tab.SumWeightsIDs(ids), tab.SumWeights(kws); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SumWeightsIDs = %v, SumWeights = %v", got, want)
+	}
+	if got, want := tab.MeanWeightIDs(ids), tab.MeanWeight(kws); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanWeightIDs = %v, MeanWeight = %v", got, want)
+	}
+	if !tab.HasDirectAnyID(ids) {
+		t.Error("HasDirectAnyID missed the direct interest")
+	}
+	onlyB := in.IDs(nil, []string{"b", "c"})
+	if tab.HasDirectAnyID(onlyB) {
+		t.Error("HasDirectAnyID false positive")
+	}
+}
+
+func TestKeywordsSorted(t *testing.T) {
+	tab := newTable(t)
+	for _, kw := range []string{"zebra", "apple", "mango"} {
+		tab.DeclareDirect(kw, 0)
+	}
+	kws := tab.Keywords()
+	if len(kws) != 3 || kws[0] != "apple" || kws[1] != "mango" || kws[2] != "zebra" {
+		t.Errorf("Keywords = %v", kws)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tab := newTable(t)
+	tab.DeclareDirect("a", 0)
+	tab.Acquire("b", 2, 0)
+	snap := tab.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	if !snap["a"].Direct || snap["a"].Weight != InitialWeight {
+		t.Errorf("snapshot[a] = %+v", snap["a"])
+	}
+	if snap["b"].Direct {
+		t.Error("snapshot[b] must be transient")
+	}
+}
+
+// TestWeightsAlwaysInRange drives a random workload of declares, acquires,
+// decays, and growths, checking the [0, 1] invariant throughout.
+func TestWeightsAlwaysInRange(t *testing.T) {
+	rng := sim.NewRNG(21)
+	words := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 20; trial++ {
+		tab := newTable(t)
+		peer := newTable(t)
+		// Tables must share one interner for the exchange path.
+		peer.in = tab.in
+		now := time.Duration(0)
+		for op := 0; op < 300; op++ {
+			now += time.Duration(rng.Intn(30)+1) * time.Second
+			switch rng.Intn(4) {
+			case 0:
+				tab.DeclareDirect(words[rng.Intn(len(words))], now)
+			case 1:
+				peer.DeclareDirect(words[rng.Intn(len(words))], now)
+			case 2:
+				tab.Decay(now, nil)
+			default:
+				ExchangeGrow(tab, peer, 1, 2, []*Table{peer}, []*Table{tab}, now, time.Duration(rng.Intn(60))*time.Second)
+			}
+			for _, kw := range tab.Keywords() {
+				w := tab.Weight(kw)
+				if w < 0 || w > MaxWeight {
+					t.Fatalf("trial %d op %d: weight %v out of range", trial, op, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package message
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+func wireMessage(t *testing.T) *Message {
+	t.Helper()
+	m, err := New(ident.NewMessageID(3, 7), ident.NodeID(3), ident.RoleCommander,
+		90*time.Second, 1<<20, PriorityMedium, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TrueKeywords = []string{"secret", "truth"} // must NOT survive the wire
+	m.Annotate("flood", 3, 90*time.Second)
+	clone := m.CopyFor(ident.NodeID(4))
+	clone.Annotate("casualties", 4, 2*time.Minute)
+	clone.AttachRating(PathRating{Rater: 4, Subject: 3, Rating: 4.5})
+	clone.PromisedTokens = 3.25
+	clone.TTL = time.Hour
+	clone.CopiesLeft = 5
+	return clone
+}
+
+func assertWireEqual(t *testing.T, want, got *Message) {
+	t.Helper()
+	if got.ID != want.ID || got.Source != want.Source || got.SourceRole != want.SourceRole ||
+		got.CreatedAt != want.CreatedAt || got.Size != want.Size ||
+		got.Priority != want.Priority || got.Quality != want.Quality ||
+		got.MIME != want.MIME || got.Format != want.Format ||
+		got.PromisedTokens != want.PromisedTokens || got.TTL != want.TTL ||
+		got.CopiesLeft != want.CopiesLeft {
+		t.Fatalf("scalar fields differ:\nwant %+v\ngot  %+v", want, got)
+	}
+	if len(got.Annotations) != len(want.Annotations) {
+		t.Fatalf("annotations = %d, want %d", len(got.Annotations), len(want.Annotations))
+	}
+	for i := range want.Annotations {
+		if got.Annotations[i] != want.Annotations[i] {
+			t.Errorf("annotation %d = %+v, want %+v", i, got.Annotations[i], want.Annotations[i])
+		}
+	}
+	if len(got.Path) != len(want.Path) {
+		t.Fatalf("path = %v, want %v", got.Path, want.Path)
+	}
+	for i := range want.Path {
+		if got.Path[i] != want.Path[i] {
+			t.Errorf("path[%d] = %v, want %v", i, got.Path[i], want.Path[i])
+		}
+	}
+	if len(got.PathRatings) != len(want.PathRatings) {
+		t.Fatalf("ratings = %d, want %d", len(got.PathRatings), len(want.PathRatings))
+	}
+	for i := range want.PathRatings {
+		if got.PathRatings[i] != want.PathRatings[i] {
+			t.Errorf("rating %d differs", i)
+		}
+	}
+	if got.TrueKeywords != nil {
+		t.Error("hidden ground truth leaked onto the wire")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := wireMessage(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWireEqual(t, m, got)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := wireMessage(t)
+	data, err := m.MarshalJSONWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "secret") {
+		t.Fatal("ground truth serialised")
+	}
+	got, err := UnmarshalJSONWire(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWireEqual(t, m, got)
+}
+
+func TestBinaryRejectsCorruptInput(t *testing.T) {
+	m := wireMessage(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBinary(data[:len(data)/2]); err == nil {
+		t.Error("truncated bundle decoded")
+	}
+	if _, err := UnmarshalBinary(append(data, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 99 // wrong version
+	if _, err := UnmarshalBinary(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := UnmarshalBinary(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryFuzzDoesNotPanic(t *testing.T) {
+	rng := sim.NewRNG(99)
+	m := wireMessage(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), data...)
+		for flips := 0; flips < 1+rng.Intn(8); flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		// Must either decode to a valid message or return an error —
+		// never panic, never return (nil, nil).
+		got, err := UnmarshalBinary(mut)
+		if err == nil && got == nil {
+			t.Fatal("nil message with nil error")
+		}
+	}
+}
+
+func TestJSONRejectsInvalidWireValues(t *testing.T) {
+	cases := []string{
+		`{"version":1,"id":"","source":1,"priority":1,"quality":0.5,"size":10,"path":[1]}`,
+		`{"version":1,"id":"m","source":1,"priority":9,"quality":0.5,"size":10,"path":[1]}`,
+		`{"version":1,"id":"m","source":1,"priority":1,"quality":0,"size":10,"path":[1]}`,
+		`{"version":1,"id":"m","source":1,"priority":1,"quality":0.5,"size":0,"path":[1]}`,
+		`{"version":1,"id":"m","source":1,"priority":1,"quality":0.5,"size":10,"path":[]}`,
+		`{"version":2,"id":"m","source":1,"priority":1,"quality":0.5,"size":10,"path":[1]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalJSONWire([]byte(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+// TestBinaryRoundTripProperty round-trips randomly generated messages.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := sim.NewRNG(7)
+	check := func(seed int64) bool {
+		local := sim.NewRNG(seed)
+		m, err := New(
+			ident.NewMessageID(ident.NodeID(local.Intn(100)), local.Intn(1000)),
+			ident.NodeID(local.Intn(100)),
+			ident.Role(local.Intn(3)+1),
+			time.Duration(local.Intn(100000))*time.Millisecond,
+			int64(local.Intn(1<<20)+1),
+			Priority(local.Intn(3)+1),
+			local.Range(0.01, 1),
+		)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < local.Intn(6); i++ {
+			m.Annotate("kw-"+string(rune('a'+local.Intn(26))), ident.NodeID(local.Intn(100)),
+				time.Duration(local.Intn(1000))*time.Second)
+		}
+		for i := 0; i < local.Intn(4); i++ {
+			m.AttachRating(PathRating{
+				Rater:   ident.NodeID(local.Intn(100)),
+				Subject: ident.NodeID(local.Intn(100)),
+				Rating:  local.Range(0, 5),
+			})
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalBinary(data)
+		if err != nil {
+			return false
+		}
+		return got.ID == m.ID && len(got.Annotations) == len(m.Annotations) &&
+			len(got.PathRatings) == len(m.PathRatings) && got.Quality == m.Quality
+	}
+	for i := 0; i < 100; i++ {
+		if !check(rng.Int63()) {
+			t.Fatal("round-trip property violated")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"dtnsim/internal/sim"
+	"dtnsim/internal/world"
+)
+
+func TestManhattanConfigValidate(t *testing.T) {
+	good := DefaultManhattan(world.Rect{Width: 1000, Height: 1000})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []func(*ManhattanGridConfig){
+		func(c *ManhattanGridConfig) { c.Bounds = world.Rect{} },
+		func(c *ManhattanGridConfig) { c.BlockSize = 0 },
+		func(c *ManhattanGridConfig) { c.BlockSize = 5000 },
+		func(c *ManhattanGridConfig) { c.MinSpeed = 0 },
+		func(c *ManhattanGridConfig) { c.MaxSpeed = 0.1 },
+		func(c *ManhattanGridConfig) { c.TurnProb = 1.5 },
+	}
+	for i, mutate := range tests {
+		cfg := DefaultManhattan(world.Rect{Width: 1000, Height: 1000})
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate should fail", i)
+		}
+	}
+}
+
+func TestManhattanStaysOnStreets(t *testing.T) {
+	cfg := DefaultManhattan(world.Rect{Width: 1000, Height: 1000})
+	w, err := NewManhattanGrid(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onStreet := func(p world.Point) bool {
+		xr := p.X / cfg.BlockSize
+		yr := p.Y / cfg.BlockSize
+		onX := xr-float64(int(xr+0.5)) < 1e-6 && xr-float64(int(xr+0.5)) > -1e-6
+		onY := yr-float64(int(yr+0.5)) < 1e-6 && yr-float64(int(yr+0.5)) > -1e-6
+		return onX || onY
+	}
+	for i := 0; i < 5000; i++ {
+		p := w.Advance(time.Second)
+		if !cfg.Bounds.Contains(p) {
+			t.Fatalf("step %d: left bounds at %v", i, p)
+		}
+		if !onStreet(p) {
+			t.Fatalf("step %d: off-street at %v", i, p)
+		}
+	}
+}
+
+func TestManhattanRespectsSpeed(t *testing.T) {
+	cfg := DefaultManhattan(world.Rect{Width: 500, Height: 500})
+	w, err := NewManhattanGrid(cfg, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Position()
+	for i := 0; i < 2000; i++ {
+		p := w.Advance(time.Second)
+		// Grid movement can turn corners within a step; the straight-line
+		// displacement is bounded by the path length at max speed.
+		if d := p.Dist(prev); d > cfg.MaxSpeed+1e-9 {
+			t.Fatalf("step %d displaced %v m in 1 s", i, d)
+		}
+		prev = p
+	}
+}
+
+func TestManhattanDeterministic(t *testing.T) {
+	cfg := DefaultManhattan(world.Rect{Width: 500, Height: 500})
+	w1, _ := NewManhattanGrid(cfg, sim.NewRNG(3))
+	w2, _ := NewManhattanGrid(cfg, sim.NewRNG(3))
+	for i := 0; i < 500; i++ {
+		if w1.Advance(time.Second) != w2.Advance(time.Second) {
+			t.Fatal("same-seed walkers diverged")
+		}
+	}
+}
+
+func TestGroupConfigValidate(t *testing.T) {
+	if err := DefaultGroup().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (GroupConfig{Radius: 0, Snap: 0.5}).Validate(); err == nil {
+		t.Error("zero radius must fail")
+	}
+	if err := (GroupConfig{Radius: 10, Snap: 0}).Validate(); err == nil {
+		t.Error("zero snap must fail")
+	}
+	if err := (GroupConfig{Radius: 10, Snap: 1.5}).Validate(); err == nil {
+		t.Error("snap above 1 must fail")
+	}
+}
+
+func TestGroupMemberFollowsLeader(t *testing.T) {
+	bounds := world.Rect{Width: 1000, Height: 1000}
+	leader, err := NewWaypoints([]TimedPoint{
+		{T: 0, P: world.Point{X: 100, Y: 100}},
+		{T: 10 * time.Second, P: world.Point{X: 800, Y: 800}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := NewGroupMember(DefaultGroup(), leader, bounds, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := member.Position().Dist(leader.Position()); d > DefaultGroup().Radius*1.5 {
+		t.Fatalf("member starts %v m from leader", d)
+	}
+	// Leader teleports at t=10; the member converges within seconds.
+	for i := 0; i < 11; i++ {
+		leader.Advance(time.Second)
+		member.Advance(time.Second)
+	}
+	for i := 0; i < 30; i++ {
+		leader.Advance(time.Second)
+		member.Advance(time.Second)
+	}
+	if d := member.Position().Dist(leader.Position()); d > DefaultGroup().Radius*1.5 {
+		t.Errorf("member %v m from leader after convergence window", d)
+	}
+}
+
+func TestGroupMemberRequiresLeader(t *testing.T) {
+	if _, err := NewGroupMember(DefaultGroup(), nil, world.Rect{Width: 10, Height: 10}, sim.NewRNG(1)); err == nil {
+		t.Error("nil leader must fail")
+	}
+}

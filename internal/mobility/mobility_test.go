@@ -1,0 +1,163 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"dtnsim/internal/sim"
+	"dtnsim/internal/world"
+)
+
+func pedestrian() RandomWaypointConfig {
+	return DefaultPedestrian(world.Rect{Width: 1000, Height: 1000})
+}
+
+func TestRandomWaypointConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*RandomWaypointConfig)
+	}{
+		{"zero bounds", func(c *RandomWaypointConfig) { c.Bounds = world.Rect{} }},
+		{"zero min speed", func(c *RandomWaypointConfig) { c.MinSpeed = 0 }},
+		{"max below min speed", func(c *RandomWaypointConfig) { c.MaxSpeed = c.MinSpeed / 2 }},
+		{"negative pause", func(c *RandomWaypointConfig) { c.MinPause = -time.Second }},
+		{"max below min pause", func(c *RandomWaypointConfig) { c.MinPause = time.Minute; c.MaxPause = time.Second }},
+	}
+	for _, tt := range tests {
+		cfg := pedestrian()
+		tt.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tt.name)
+		}
+	}
+	if err := pedestrian().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	cfg := pedestrian()
+	w, err := NewRandomWaypoint(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		p := w.Advance(time.Second)
+		if !cfg.Bounds.Contains(p) {
+			t.Fatalf("step %d: position %v left bounds", i, p)
+		}
+	}
+}
+
+func TestRandomWaypointRespectsSpeedLimit(t *testing.T) {
+	cfg := pedestrian()
+	w, err := NewRandomWaypoint(cfg, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Position()
+	for i := 0; i < 5000; i++ {
+		p := w.Advance(time.Second)
+		if d := p.Dist(prev); d > cfg.MaxSpeed+1e-9 {
+			t.Fatalf("step %d moved %v m in 1 s, max speed %v", i, d, cfg.MaxSpeed)
+		}
+		prev = p
+	}
+}
+
+func TestRandomWaypointActuallyMoves(t *testing.T) {
+	cfg := pedestrian()
+	cfg.MaxPause = 0
+	cfg.MinPause = 0
+	w, err := NewRandomWaypoint(cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Position()
+	var traveled float64
+	prev := start
+	for i := 0; i < 600; i++ {
+		p := w.Advance(time.Second)
+		traveled += p.Dist(prev)
+		prev = p
+	}
+	// 10 minutes at 0.5–1.5 m/s with no pauses must cover real ground.
+	if traveled < 100 {
+		t.Errorf("traveled only %v m in 10 min", traveled)
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	cfg := pedestrian()
+	w1, _ := NewRandomWaypoint(cfg, sim.NewRNG(7))
+	w2, _ := NewRandomWaypoint(cfg, sim.NewRNG(7))
+	for i := 0; i < 1000; i++ {
+		if w1.Advance(time.Second) != w2.Advance(time.Second) {
+			t.Fatal("same-seed walkers diverged")
+		}
+	}
+}
+
+func TestStationary(t *testing.T) {
+	s := &Stationary{At: world.Point{X: 3, Y: 4}}
+	if s.Position() != (world.Point{X: 3, Y: 4}) {
+		t.Error("wrong position")
+	}
+	if s.Advance(time.Hour) != (world.Point{X: 3, Y: 4}) {
+		t.Error("stationary node moved")
+	}
+}
+
+func TestWaypointsValidation(t *testing.T) {
+	if _, err := NewWaypoints(nil); err == nil {
+		t.Error("empty waypoint list must fail")
+	}
+	_, err := NewWaypoints([]TimedPoint{
+		{T: 2 * time.Second, P: world.Point{}},
+		{T: time.Second, P: world.Point{}},
+	})
+	if err == nil {
+		t.Error("non-increasing times must fail")
+	}
+}
+
+func TestWaypointsFollowsSchedule(t *testing.T) {
+	f, err := NewWaypoints([]TimedPoint{
+		{T: 0, P: world.Point{X: 0, Y: 0}},
+		{T: 10 * time.Second, P: world.Point{X: 100, Y: 0}},
+		{T: 20 * time.Second, P: world.Point{X: 200, Y: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.Position(); p.X != 0 {
+		t.Errorf("at t=0 position %v", p)
+	}
+	f.Advance(10 * time.Second)
+	if p := f.Position(); p.X != 100 {
+		t.Errorf("at t=10 position %v, want x=100", p)
+	}
+	f.Advance(5 * time.Second)
+	if p := f.Position(); p.X != 100 {
+		t.Errorf("at t=15 position %v, want x=100 (holds until next step)", p)
+	}
+	f.Advance(5 * time.Second)
+	if p := f.Position(); p.X != 200 {
+		t.Errorf("at t=20 position %v, want x=200", p)
+	}
+}
+
+func TestRandomWaypointLongStepCrossesWaypoint(t *testing.T) {
+	cfg := pedestrian()
+	cfg.MinPause = 0
+	cfg.MaxPause = 0
+	w, err := NewRandomWaypoint(cfg, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge step must consume multiple legs without leaving bounds.
+	p := w.Advance(2 * time.Hour)
+	if !cfg.Bounds.Contains(p) {
+		t.Errorf("long step left bounds: %v", p)
+	}
+}

@@ -1,0 +1,116 @@
+// Package report provides the simulator's event-trace facility, modelled on
+// the ONE simulator's report modules: the engine emits a typed event stream
+// (contacts, handovers, deliveries, payments, enrichment) and writers
+// render it as a ONE-style connectivity trace, a delivery report, or a
+// JSONL event log for external analysis.
+package report
+
+import (
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+// Kind tags an event.
+type Kind int
+
+// Event kinds.
+const (
+	ContactUp Kind = iota + 1
+	ContactDown
+	MessageCreated
+	Relayed
+	Delivered
+	TransferAborted
+	Payment
+	TagAdded
+)
+
+// String names the kind using ONE-ish vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case ContactUp:
+		return "CONN_UP"
+	case ContactDown:
+		return "CONN_DOWN"
+	case MessageCreated:
+		return "CREATE"
+	case Relayed:
+		return "RELAY"
+	case Delivered:
+		return "DELIVER"
+	case TransferAborted:
+		return "ABORT"
+	case Payment:
+		return "PAY"
+	case TagAdded:
+		return "TAG"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Event is one simulation occurrence. Fields beyond At/Kind are populated
+// per kind: contacts carry A and B; message events carry A (the holder or
+// sender), B (the receiver, when any), and Msg; payments carry A (payer),
+// B (payee), and Tokens; tags carry A (the tagger), Msg, and Keyword.
+type Event struct {
+	At      time.Duration
+	Kind    Kind
+	A, B    ident.NodeID
+	Msg     ident.MessageID
+	Tokens  float64
+	Keyword string
+	// Relevant qualifies TagAdded events.
+	Relevant bool
+}
+
+// Recorder consumes the engine's event stream. Implementations must be
+// cheap — the engine calls Record synchronously from the hot path.
+type Recorder interface {
+	Record(Event)
+}
+
+// Multi fans one stream out to several recorders.
+type Multi []Recorder
+
+var _ Recorder = Multi(nil)
+
+// Record implements Recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// Buffer retains every event in memory; tests and small analyses use it.
+type Buffer struct {
+	Events []Event
+}
+
+var _ Recorder = (*Buffer)(nil)
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// Count returns how many events of the kind were recorded.
+func (b *Buffer) Count(k Kind) int {
+	n := 0
+	for _, e := range b.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns the events of the kind, in order.
+func (b *Buffer) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 10 * time.Second, Kind: ContactUp, A: 1, B: 2},
+		{At: 12 * time.Second, Kind: MessageCreated, A: 1, Msg: "n1-m1"},
+		{At: 20 * time.Second, Kind: Relayed, A: 1, B: 2, Msg: "n1-m1"},
+		{At: 25 * time.Second, Kind: TagAdded, A: 2, Msg: "n1-m1", Keyword: "flood", Relevant: true},
+		{At: 30 * time.Second, Kind: Delivered, A: 2, B: 3, Msg: "n1-m1"},
+		{At: 30 * time.Second, Kind: Payment, A: 3, B: 2, Msg: "n1-m1", Tokens: 2.5},
+		{At: 40 * time.Second, Kind: ContactDown, A: 1, B: 2},
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		ContactUp: "CONN_UP", ContactDown: "CONN_DOWN", MessageCreated: "CREATE",
+		Relayed: "RELAY", Delivered: "DELIVER", TransferAborted: "ABORT",
+		Payment: "PAY", TagAdded: "TAG", Kind(99): "UNKNOWN",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestBufferRecorder(t *testing.T) {
+	var b Buffer
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	if len(b.Events) != 7 {
+		t.Fatalf("events = %d", len(b.Events))
+	}
+	if b.Count(ContactUp) != 1 || b.Count(Payment) != 1 {
+		t.Error("Count wrong")
+	}
+	if got := b.Filter(Relayed); len(got) != 1 || got[0].Msg != "n1-m1" {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b Buffer
+	m := Multi{&a, &b}
+	m.Record(Event{Kind: ContactUp})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestConnTraceWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewConnTraceWriter(&buf)
+	for _, e := range sampleEvents() {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "10.0 CONN 1 2 up" {
+		t.Errorf("up line = %q", lines[0])
+	}
+	if lines[1] != "40.0 CONN 1 2 down" {
+		t.Errorf("down line = %q", lines[1])
+	}
+}
+
+func TestDeliveryReportWriterLatency(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDeliveryReportWriter(&buf)
+	for _, e := range sampleEvents() {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "12.0 C n1-m1 1") {
+		t.Errorf("missing create line:\n%s", out)
+	}
+	if !strings.Contains(out, "20.0 R n1-m1 1 2") {
+		t.Errorf("missing relay line:\n%s", out)
+	}
+	// Latency = 30 − 12 = 18 s.
+	if !strings.Contains(out, "30.0 D n1-m1 2 3 18.0") {
+		t.Errorf("missing delivery line with latency:\n%s", out)
+	}
+}
+
+func TestJSONLWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range sampleEvents() {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sampleEvents()) {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var decoded struct {
+		Kind    string          `json:"kind"`
+		Tokens  float64         `json:"tokens"`
+		Msg     ident.MessageID `json:"msg"`
+		Keyword string          `json:"keyword"`
+	}
+	if err := json.Unmarshal([]byte(lines[5]), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kind != "PAY" || decoded.Tokens != 2.5 {
+		t.Errorf("payment line decoded to %+v", decoded)
+	}
+}
+
+func TestContactStats(t *testing.T) {
+	s := NewContactStats()
+	for _, e := range sampleEvents() {
+		s.Record(e)
+	}
+	if s.Completed() != 1 {
+		t.Fatalf("completed = %d", s.Completed())
+	}
+	if s.MeanDuration() != 30*time.Second {
+		t.Errorf("mean duration = %v, want 30s", s.MeanDuration())
+	}
+	// An unmatched down is ignored.
+	s.Record(Event{At: time.Minute, Kind: ContactDown, A: 7, B: 8})
+	if s.Completed() != 1 {
+		t.Error("unmatched down counted")
+	}
+}
+
+func TestEmptyContactStats(t *testing.T) {
+	s := NewContactStats()
+	if s.MeanDuration() != 0 || s.Completed() != 0 {
+		t.Error("empty stats must be zero")
+	}
+}

@@ -1,0 +1,176 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+// ConnTraceWriter renders contact events in the ONE simulator's
+// connectivity-trace format:
+//
+//	<time> CONN <a> <b> up|down
+//
+// so existing DTN tooling that consumes ONE traces can analyse runs.
+type ConnTraceWriter struct {
+	w   io.Writer
+	err error
+}
+
+var _ Recorder = (*ConnTraceWriter)(nil)
+
+// NewConnTraceWriter wraps w.
+func NewConnTraceWriter(w io.Writer) *ConnTraceWriter {
+	return &ConnTraceWriter{w: w}
+}
+
+// Record implements Recorder; non-contact events are ignored.
+func (c *ConnTraceWriter) Record(e Event) {
+	if c.err != nil {
+		return
+	}
+	var state string
+	switch e.Kind {
+	case ContactUp:
+		state = "up"
+	case ContactDown:
+		state = "down"
+	default:
+		return
+	}
+	_, c.err = fmt.Fprintf(c.w, "%.1f CONN %d %d %s\n", e.At.Seconds(), int(e.A), int(e.B), state)
+}
+
+// Err returns the first write error, if any.
+func (c *ConnTraceWriter) Err() error { return c.err }
+
+// DeliveryReportWriter renders message lifecycle lines:
+//
+//	<time> C <msg> <source>                 (created)
+//	<time> R <msg> <from> <to>              (relayed)
+//	<time> D <msg> <from> <to> <latency_s>  (delivered)
+type DeliveryReportWriter struct {
+	w       io.Writer
+	err     error
+	created map[ident.MessageID]time.Duration
+}
+
+var _ Recorder = (*DeliveryReportWriter)(nil)
+
+// NewDeliveryReportWriter wraps w.
+func NewDeliveryReportWriter(w io.Writer) *DeliveryReportWriter {
+	return &DeliveryReportWriter{w: w, created: make(map[ident.MessageID]time.Duration)}
+}
+
+// Record implements Recorder.
+func (d *DeliveryReportWriter) Record(e Event) {
+	if d.err != nil {
+		return
+	}
+	switch e.Kind {
+	case MessageCreated:
+		d.created[e.Msg] = e.At
+		_, d.err = fmt.Fprintf(d.w, "%.1f C %s %d\n", e.At.Seconds(), e.Msg, int(e.A))
+	case Relayed:
+		_, d.err = fmt.Fprintf(d.w, "%.1f R %s %d %d\n", e.At.Seconds(), e.Msg, int(e.A), int(e.B))
+	case Delivered:
+		latency := time.Duration(0)
+		if c, ok := d.created[e.Msg]; ok {
+			latency = e.At - c
+		}
+		_, d.err = fmt.Fprintf(d.w, "%.1f D %s %d %d %.1f\n",
+			e.At.Seconds(), e.Msg, int(e.A), int(e.B), latency.Seconds())
+	}
+}
+
+// Err returns the first write error, if any.
+func (d *DeliveryReportWriter) Err() error { return d.err }
+
+// JSONLWriter renders every event as one JSON object per line, the format
+// external analysis pipelines ingest.
+type JSONLWriter struct {
+	enc *json.Encoder
+	err error
+}
+
+var _ Recorder = (*JSONLWriter)(nil)
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+type jsonlEvent struct {
+	AtMillis int64           `json:"atMillis"`
+	Kind     string          `json:"kind"`
+	A        ident.NodeID    `json:"a"`
+	B        ident.NodeID    `json:"b,omitempty"`
+	Msg      ident.MessageID `json:"msg,omitempty"`
+	Tokens   float64         `json:"tokens,omitempty"`
+	Keyword  string          `json:"keyword,omitempty"`
+	Relevant bool            `json:"relevant,omitempty"`
+}
+
+// Record implements Recorder.
+func (j *JSONLWriter) Record(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonlEvent{
+		AtMillis: e.At.Milliseconds(),
+		Kind:     e.Kind.String(),
+		A:        e.A,
+		B:        e.B,
+		Msg:      e.Msg,
+		Tokens:   e.Tokens,
+		Keyword:  e.Keyword,
+		Relevant: e.Relevant,
+	})
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error { return j.err }
+
+// ContactStats aggregates contact durations from a recorded stream — the
+// ONE simulator's ContactTimesReport equivalent.
+type ContactStats struct {
+	open  map[[2]ident.NodeID]time.Duration
+	count int
+	total time.Duration
+}
+
+var _ Recorder = (*ContactStats)(nil)
+
+// NewContactStats returns an empty aggregator.
+func NewContactStats() *ContactStats {
+	return &ContactStats{open: make(map[[2]ident.NodeID]time.Duration)}
+}
+
+// Record implements Recorder.
+func (s *ContactStats) Record(e Event) {
+	key := [2]ident.NodeID{e.A, e.B}
+	switch e.Kind {
+	case ContactUp:
+		s.open[key] = e.At
+	case ContactDown:
+		if start, ok := s.open[key]; ok {
+			s.count++
+			s.total += e.At - start
+			delete(s.open, key)
+		}
+	}
+}
+
+// Completed returns the number of finished contacts.
+func (s *ContactStats) Completed() int { return s.count }
+
+// MeanDuration returns the mean completed-contact duration.
+func (s *ContactStats) MeanDuration() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return s.total / time.Duration(s.count)
+}

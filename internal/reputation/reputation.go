@@ -1,0 +1,255 @@
+// Package reputation implements the Distributed Reputation Model (DRM,
+// Paper I §3.3). Each node keeps its own opinion of every node it has heard
+// about, on the paper's 0–5 rating scale:
+//
+//   - message ratings: a recipient rates the source for annotation relevance
+//     and content quality, and rates each enriching relay for its added tags
+//     (with a confidence factor on the tag judgement);
+//   - node ratings: first-hand, a node's rating is the average of the
+//     ratings of messages received from it; second-hand ratings received
+//     from other nodes are blended with weight α > 0.5 on one's own opinion;
+//   - incentive awards scale with the deliverer's reputation and the mean of
+//     the ratings carried along the message path.
+//
+// There is no trusted authority anywhere in the model — every opinion is
+// local, which is the property that distinguishes the DRM from PI-style
+// centralized clearance.
+package reputation
+
+import (
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/ident"
+)
+
+// Params tunes the DRM.
+type Params struct {
+	// Alpha is the self-weight in the second-hand merge
+	// r_{v,u} = (1-α)·r_{v,z} + α·r_{v,u}; the paper requires α > 0.5 so a
+	// node trusts its own experience over gossip.
+	Alpha float64
+	// MaxRating is r_m, the top of the rating scale ("the highest rating a
+	// node can assign to another node is 5").
+	MaxRating float64
+	// MaxConfidence is C_m, the top of the tag-judgement confidence scale.
+	MaxConfidence float64
+	// InitialRating is the prior for nodes never rated; 2.5 (the scale
+	// midpoint) is neutral.
+	InitialRating float64
+	// AvoidBelow bars nodes: once a node's rating drops under this bar the
+	// holder refuses transfers from it ("enabling other nodes to avoid
+	// receiving from malicious nodes"). Zero disables barring.
+	AvoidBelow float64
+	// MinObservations is how many first-hand message ratings must back an
+	// opinion before the avoid bar applies, so one bad message does not
+	// blacklist a node.
+	MinObservations int
+}
+
+// DefaultParams returns the evaluation configuration.
+func DefaultParams() Params {
+	return Params{
+		Alpha:           0.7,
+		MaxRating:       5,
+		MaxConfidence:   1,
+		InitialRating:   2.5,
+		AvoidBelow:      1.0,
+		MinObservations: 3,
+	}
+}
+
+// Validate checks the parameters, including the paper's α > 0.5 constraint.
+func (p Params) Validate() error {
+	switch {
+	case p.Alpha <= 0.5 || p.Alpha >= 1:
+		return fmt.Errorf("reputation: alpha must satisfy 0.5 < α < 1, got %v", p.Alpha)
+	case p.MaxRating <= 0:
+		return fmt.Errorf("reputation: max rating must be positive, got %v", p.MaxRating)
+	case p.MaxConfidence <= 0:
+		return fmt.Errorf("reputation: max confidence must be positive, got %v", p.MaxConfidence)
+	case p.InitialRating < 0 || p.InitialRating > p.MaxRating:
+		return fmt.Errorf("reputation: initial rating %v outside [0, %v]", p.InitialRating, p.MaxRating)
+	case p.AvoidBelow < 0 || p.AvoidBelow > p.MaxRating:
+		return fmt.Errorf("reputation: avoid bar %v outside [0, %v]", p.AvoidBelow, p.MaxRating)
+	case p.MinObservations < 0:
+		return fmt.Errorf("reputation: min observations must be non-negative, got %d", p.MinObservations)
+	}
+	return nil
+}
+
+// MessageRatingInputs are the human judgements the deployed system collects
+// per received message (simulated by the enrichment ground truth).
+type MessageRatingInputs struct {
+	// TagRating is R_t: the rating for the relevance of the subject's tags
+	// on this message, 0..MaxRating.
+	TagRating float64
+	// Confidence is C: the rater's confidence in the tag judgement,
+	// 0..MaxConfidence.
+	Confidence float64
+	// QualityRating is R_q: the rating for the content quality,
+	// 0..MaxRating. Only used when rating the source.
+	QualityRating float64
+}
+
+// Store is one node's reputation state: its opinion of every other node.
+type Store struct {
+	params Params
+	self   ident.NodeID
+	rows   map[ident.NodeID]*row
+}
+
+type row struct {
+	// current is the working rating r_{v,u}.
+	current float64
+	// msgSum/msgN back the first-hand average of message ratings.
+	msgSum float64
+	msgN   int
+}
+
+// NewStore creates the reputation store for node self.
+func NewStore(self ident.NodeID, params Params) (*Store, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{
+		params: params,
+		self:   self,
+		rows:   make(map[ident.NodeID]*row),
+	}, nil
+}
+
+// Params returns the store's configuration.
+func (s *Store) Params() Params { return s.params }
+
+func (s *Store) rowFor(v ident.NodeID) *row {
+	r, ok := s.rows[v]
+	if !ok {
+		r = &row{current: s.params.InitialRating}
+		s.rows[v] = r
+	}
+	return r
+}
+
+// RateSourceMessage computes the message rating R_i for a source:
+// R_i = ½·(R_t·C/C_m) + ½·R_q, records it first-hand against the source, and
+// returns it.
+func (s *Store) RateSourceMessage(src ident.NodeID, in MessageRatingInputs) float64 {
+	ri := 0.5*(in.TagRating*s.clampConf(in.Confidence)/s.params.MaxConfidence) + 0.5*s.clampRating(in.QualityRating)
+	s.recordMessageRating(src, ri)
+	return ri
+}
+
+// RateRelayMessage computes the message rating R_i for an enriching relay:
+// R_i = R_t·C/C_m, records it first-hand, and returns it.
+func (s *Store) RateRelayMessage(relay ident.NodeID, in MessageRatingInputs) float64 {
+	ri := s.clampRating(in.TagRating) * s.clampConf(in.Confidence) / s.params.MaxConfidence
+	s.recordMessageRating(relay, ri)
+	return ri
+}
+
+func (s *Store) clampRating(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > s.params.MaxRating {
+		return s.params.MaxRating
+	}
+	return r
+}
+
+func (s *Store) clampConf(c float64) float64 {
+	if c < 0 {
+		return 0
+	}
+	if c > s.params.MaxConfidence {
+		return s.params.MaxConfidence
+	}
+	return c
+}
+
+// recordMessageRating implements Case 1: the node rating becomes the average
+// of all message ratings received from v: r_{v,u} = Σ r_{m_v} / N.
+func (s *Store) recordMessageRating(v ident.NodeID, ri float64) {
+	r := s.rowFor(v)
+	r.msgSum += s.clampRating(ri)
+	r.msgN++
+	r.current = r.msgSum / float64(r.msgN)
+}
+
+// MergeSecondHand implements Case 2: on receiving z's rating of v, blend
+// r_{v,u} = (1-α)·r_{v,z} + α·r_{v,u}. A node never merges gossip about
+// itself.
+func (s *Store) MergeSecondHand(v ident.NodeID, theirRating float64) {
+	if v == s.self {
+		return
+	}
+	r := s.rowFor(v)
+	a := s.params.Alpha
+	r.current = (1-a)*s.clampRating(theirRating) + a*r.current
+}
+
+// Rating returns this node's current opinion of v (InitialRating when v was
+// never observed).
+func (s *Store) Rating(v ident.NodeID) float64 {
+	if r, ok := s.rows[v]; ok {
+		return r.current
+	}
+	return s.params.InitialRating
+}
+
+// Observations returns how many first-hand message ratings back the opinion
+// of v.
+func (s *Store) Observations(v ident.NodeID) int {
+	if r, ok := s.rows[v]; ok {
+		return r.msgN
+	}
+	return 0
+}
+
+// ShouldAvoid reports whether v's reputation is low enough — with enough
+// first-hand evidence — that transfers from v should be refused.
+func (s *Store) ShouldAvoid(v ident.NodeID) bool {
+	if s.params.AvoidBelow <= 0 {
+		return false
+	}
+	r, ok := s.rows[v]
+	if !ok {
+		return false
+	}
+	return r.msgN >= s.params.MinObservations && r.current < s.params.AvoidBelow
+}
+
+// Known returns the IDs this store holds opinions about, sorted.
+func (s *Store) Known() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(s.rows))
+	for id := range s.rows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AwardFactor computes the reputation multiplier in the award formula
+//
+//	I_v = ((1-α)·(Σ r_{m_v,x})/N + α·r_{v,u}/r_m) · (I + I_t)
+//
+// pathRatings are the ratings r_{m_v,x} carried with the message from the
+// hops in its path; deliverer is v. Both terms are normalised by r_m so the
+// factor lies in [0, 1] (the thesis prints the first term unnormalised,
+// which would let a 0–5-scale mean multiply the award by up to 5 — the
+// normalisation keeps I_v ≤ I + I_t, which the token economy requires).
+// With no path ratings the deliverer's own reputation carries full weight.
+func (s *Store) AwardFactor(deliverer ident.NodeID, pathRatings []float64) float64 {
+	a := s.params.Alpha
+	own := s.Rating(deliverer) / s.params.MaxRating
+	if len(pathRatings) == 0 {
+		return own
+	}
+	var sum float64
+	for _, r := range pathRatings {
+		sum += s.clampRating(r)
+	}
+	mean := sum / float64(len(pathRatings)) / s.params.MaxRating
+	return (1-a)*mean + a*own
+}

@@ -1,0 +1,249 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+func store(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(ident.NodeID(0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"alpha at half", func(p *Params) { p.Alpha = 0.5 }},
+		{"alpha at one", func(p *Params) { p.Alpha = 1 }},
+		{"max rating", func(p *Params) { p.MaxRating = 0 }},
+		{"max confidence", func(p *Params) { p.MaxConfidence = 0 }},
+		{"initial above max", func(p *Params) { p.InitialRating = 10 }},
+		{"avoid above max", func(p *Params) { p.AvoidBelow = 10 }},
+		{"negative observations", func(p *Params) { p.MinObservations = -1 }},
+	}
+	for _, tt := range tests {
+		p := DefaultParams()
+		tt.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tt.name)
+		}
+	}
+}
+
+// TestRateSourceMessageFormula checks R_i = ½(R_t·C/C_m) + ½R_q.
+func TestRateSourceMessageFormula(t *testing.T) {
+	s := store(t)
+	ri := s.RateSourceMessage(ident.NodeID(1), MessageRatingInputs{
+		TagRating:     4,
+		Confidence:    0.5,
+		QualityRating: 3,
+	})
+	want := 0.5*(4*0.5/1.0) + 0.5*3
+	if math.Abs(ri-want) > 1e-12 {
+		t.Errorf("R_i = %v, want %v", ri, want)
+	}
+	if got := s.Rating(ident.NodeID(1)); math.Abs(got-ri) > 1e-12 {
+		t.Errorf("first rating must set the node rating: %v vs %v", got, ri)
+	}
+}
+
+// TestRateRelayMessageFormula checks R_i = R_t·C/C_m.
+func TestRateRelayMessageFormula(t *testing.T) {
+	s := store(t)
+	ri := s.RateRelayMessage(ident.NodeID(2), MessageRatingInputs{
+		TagRating:  2,
+		Confidence: 0.8,
+	})
+	want := 2 * 0.8
+	if math.Abs(ri-want) > 1e-12 {
+		t.Errorf("R_i = %v, want %v", ri, want)
+	}
+}
+
+// TestNodeRatingIsMessageAverage checks Case 1: r_{v,u} = Σ r_{m_v}/N.
+func TestNodeRatingIsMessageAverage(t *testing.T) {
+	s := store(t)
+	v := ident.NodeID(3)
+	r1 := s.RateRelayMessage(v, MessageRatingInputs{TagRating: 4, Confidence: 1})
+	r2 := s.RateRelayMessage(v, MessageRatingInputs{TagRating: 2, Confidence: 1})
+	want := (r1 + r2) / 2
+	if got := s.Rating(v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("rating = %v, want mean %v", got, want)
+	}
+	if s.Observations(v) != 2 {
+		t.Errorf("observations = %d, want 2", s.Observations(v))
+	}
+}
+
+// TestMergeSecondHand checks Case 2: r_{v,u} = (1-α)·r_{v,z} + α·r_{v,u}.
+func TestMergeSecondHand(t *testing.T) {
+	s := store(t)
+	v := ident.NodeID(4)
+	p := s.Params()
+	before := s.Rating(v) // InitialRating
+	s.MergeSecondHand(v, 0)
+	want := (1-p.Alpha)*0 + p.Alpha*before
+	if got := s.Rating(v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged rating = %v, want %v", got, want)
+	}
+}
+
+func TestMergeIgnoresGossipAboutSelf(t *testing.T) {
+	s := store(t)
+	self := ident.NodeID(0)
+	s.MergeSecondHand(self, 0)
+	if got := s.Rating(self); got != s.Params().InitialRating {
+		t.Errorf("self rating changed to %v", got)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	s := store(t)
+	v := ident.NodeID(5)
+	s.RateRelayMessage(v, MessageRatingInputs{TagRating: 99, Confidence: 99})
+	if got := s.Rating(v); got > s.Params().MaxRating {
+		t.Errorf("rating %v above max", got)
+	}
+	w := ident.NodeID(6)
+	s.RateRelayMessage(w, MessageRatingInputs{TagRating: -5, Confidence: -1})
+	if got := s.Rating(w); got < 0 {
+		t.Errorf("rating %v below zero", got)
+	}
+}
+
+func TestShouldAvoidNeedsEvidenceAndLowRating(t *testing.T) {
+	s := store(t)
+	v := ident.NodeID(7)
+	if s.ShouldAvoid(v) {
+		t.Error("unknown node must not be avoided")
+	}
+	// Two bad ratings: below MinObservations = 3.
+	s.RateRelayMessage(v, MessageRatingInputs{TagRating: 0, Confidence: 1})
+	s.RateRelayMessage(v, MessageRatingInputs{TagRating: 0, Confidence: 1})
+	if s.ShouldAvoid(v) {
+		t.Error("insufficient evidence must not trigger avoidance")
+	}
+	s.RateRelayMessage(v, MessageRatingInputs{TagRating: 0, Confidence: 1})
+	if !s.ShouldAvoid(v) {
+		t.Error("three zero ratings must trigger avoidance")
+	}
+	// A well-rated node is never avoided.
+	g := ident.NodeID(8)
+	for i := 0; i < 5; i++ {
+		s.RateRelayMessage(g, MessageRatingInputs{TagRating: 5, Confidence: 1})
+	}
+	if s.ShouldAvoid(g) {
+		t.Error("well-rated node avoided")
+	}
+}
+
+func TestShouldAvoidDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.AvoidBelow = 0
+	s, err := NewStore(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ident.NodeID(7)
+	for i := 0; i < 5; i++ {
+		s.RateRelayMessage(v, MessageRatingInputs{TagRating: 0, Confidence: 1})
+	}
+	if s.ShouldAvoid(v) {
+		t.Error("avoidance must be disabled when the bar is 0")
+	}
+}
+
+func TestKnownSorted(t *testing.T) {
+	s := store(t)
+	for _, id := range []ident.NodeID{9, 3, 7} {
+		s.RateRelayMessage(id, MessageRatingInputs{TagRating: 3, Confidence: 1})
+	}
+	known := s.Known()
+	if len(known) != 3 || known[0] != 3 || known[1] != 7 || known[2] != 9 {
+		t.Errorf("Known = %v", known)
+	}
+}
+
+// TestAwardFactorFormula checks
+// factor = (1-α)·mean(pathRatings)/r_m + α·r_{v,u}/r_m.
+func TestAwardFactorFormula(t *testing.T) {
+	s := store(t)
+	p := s.Params()
+	v := ident.NodeID(10)
+	s.RateRelayMessage(v, MessageRatingInputs{TagRating: 4, Confidence: 1}) // rating = 4
+	got := s.AwardFactor(v, []float64{5, 3})
+	want := (1-p.Alpha)*(4.0/5.0)/1 + p.Alpha*(4.0/5.0)
+	// mean(5,3)=4 → 4/r_m = 0.8; own rating 4 → 0.8.
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AwardFactor = %v, want %v", got, want)
+	}
+}
+
+func TestAwardFactorNoPathRatings(t *testing.T) {
+	s := store(t)
+	v := ident.NodeID(11)
+	got := s.AwardFactor(v, nil)
+	want := s.Params().InitialRating / s.Params().MaxRating
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AwardFactor(nil) = %v, want %v", got, want)
+	}
+}
+
+// TestAwardFactorBounded: the factor must stay in [0, 1] for any inputs, or
+// the destination could pay more than I + I_t.
+func TestAwardFactorBounded(t *testing.T) {
+	s := store(t)
+	rng := sim.NewRNG(19)
+	check := func(n uint8) bool {
+		v := ident.NodeID(int(n%20) + 1)
+		s.RateRelayMessage(v, MessageRatingInputs{
+			TagRating:  rng.Range(-2, 8),
+			Confidence: rng.Range(-1, 2),
+		})
+		ratings := make([]float64, rng.Intn(5))
+		for i := range ratings {
+			ratings[i] = rng.Range(-2, 8)
+		}
+		f := s.AwardFactor(v, ratings)
+		return f >= 0 && f <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaliciousRatingConverges: a node emitting only irrelevant tags is
+// driven toward zero; an honest node toward the maximum.
+func TestMaliciousRatingConverges(t *testing.T) {
+	s := store(t)
+	bad, good := ident.NodeID(20), ident.NodeID(21)
+	for i := 0; i < 50; i++ {
+		s.RateRelayMessage(bad, MessageRatingInputs{TagRating: 0, Confidence: 1})
+		s.RateRelayMessage(good, MessageRatingInputs{TagRating: 5, Confidence: 1})
+	}
+	if got := s.Rating(bad); got > 0.5 {
+		t.Errorf("malicious rating = %v, want near 0", got)
+	}
+	if got := s.Rating(good); got < 4.5 {
+		t.Errorf("honest rating = %v, want near 5", got)
+	}
+	if s.AwardFactor(bad, nil) >= s.AwardFactor(good, nil) {
+		t.Error("malicious node must earn a lower award factor")
+	}
+}

@@ -1,0 +1,31 @@
+package routing
+
+// Direct implements Direct-Contact routing: the source holds its messages
+// until it meets a destination. Zero replication overhead, lowest delivery
+// ratio — the other end of the trade-off spectrum from Epidemic.
+type Direct struct{}
+
+var _ Router = Direct{}
+
+// NewDirect returns the router.
+func NewDirect() Direct { return Direct{} }
+
+// Name implements Router.
+func (Direct) Name() string { return "direct" }
+
+// SelectOffers implements Router.
+func (Direct) SelectOffers(u, v NodeView) []Offer {
+	var offers []Offer
+	check := newPeerCheck(v)
+	for _, m := range u.Buffer().Messages() {
+		if !check.eligible(m) {
+			continue
+		}
+		if ClassifyPeer(m, u, v) != RoleDestination {
+			continue
+		}
+		offers = append(offers, Offer{Msg: m, Role: RoleDestination})
+	}
+	sortOffers(offers)
+	return offers
+}

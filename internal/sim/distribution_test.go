@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExpDurationMean checks the exponential draw's sample mean against the
+// configured mean (law of large numbers tolerance).
+func TestExpDurationMean(t *testing.T) {
+	g := NewRNG(31)
+	const mean = 120.0
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.ExpDuration(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.03 {
+		t.Errorf("sample mean = %v, want ≈%v", got, mean)
+	}
+}
+
+// TestNormalMoments checks the normal draw's sample mean and deviation.
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(32)
+	const mu, sigma = 5.0, 2.0
+	const n = 50000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := g.Normal(mu, sigma)
+		sum += v
+		ss += (v - mu) * (v - mu)
+	}
+	mean := sum / n
+	std := math.Sqrt(ss / n)
+	if math.Abs(mean-mu) > 0.05 {
+		t.Errorf("sample mean = %v, want ≈%v", mean, mu)
+	}
+	if math.Abs(std-sigma) > 0.05 {
+		t.Errorf("sample std = %v, want ≈%v", std, sigma)
+	}
+}
+
+// TestIntnAndPermCoverage sanity-checks the uniform helpers.
+func TestIntnAndPermCoverage(t *testing.T) {
+	g := NewRNG(33)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered only %d values", len(seen))
+	}
+	p := g.Perm(20)
+	if len(p) != 20 {
+		t.Fatalf("Perm length %d", len(p))
+	}
+	mark := make([]bool, 20)
+	for _, v := range p {
+		if mark[v] {
+			t.Fatal("Perm repeated a value")
+		}
+		mark[v] = true
+	}
+}
+
+// TestRangePanicsOnInvalid documents the programming-error contract.
+func TestRangePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(hi<lo) must panic")
+		}
+	}()
+	NewRNG(1).Range(5, 1)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to fire at a specific virtual time. The
+// fire time passed to the callback is the event's scheduled time, which may
+// be earlier than Clock.Now() when events land between ticks; callbacks that
+// care should read the clock.
+type Event func(at time.Duration)
+
+type scheduledEvent struct {
+	at   time.Duration
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	fire Event
+}
+
+type eventHeap []scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(scheduledEvent)
+	if !ok {
+		// heap.Push is only ever called by EventQueue with the right type;
+		// reaching this is a programming error inside this package.
+		panic("sim: eventHeap.Push called with non-event value")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// EventQueue is a time-ordered queue of scheduled callbacks. Events at equal
+// times fire in scheduling order, which keeps runs deterministic.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// ScheduleAt enqueues fire to run at the absolute virtual time at.
+func (q *EventQueue) ScheduleAt(at time.Duration, fire Event) {
+	q.seq++
+	heap.Push(&q.h, scheduledEvent{at: at, seq: q.seq, fire: fire})
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextAt returns the fire time of the earliest pending event; ok is false
+// when the queue is empty.
+func (q *EventQueue) NextAt() (at time.Duration, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+// RunDue fires every event scheduled at or before now, in time order. Events
+// may schedule further events; newly scheduled events that are also due are
+// fired in the same call. It returns the number of events fired.
+func (q *EventQueue) RunDue(now time.Duration) int {
+	fired := 0
+	for len(q.h) > 0 && q.h[0].at <= now {
+		popped := heap.Pop(&q.h)
+		ev, ok := popped.(scheduledEvent)
+		if !ok {
+			panic("sim: event queue held non-event value")
+		}
+		ev.fire(ev.at)
+		fired++
+	}
+	return fired
+}

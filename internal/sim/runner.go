@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Ticker is a component that advances once per simulation step. The engine's
+// movement, contact detection, and transfer subsystems all implement Ticker.
+type Ticker interface {
+	// Tick advances the component to virtual time now. The step size is
+	// fixed for the run and available from the Runner's clock.
+	Tick(now time.Duration)
+}
+
+// TickerFunc adapts a plain function to the Ticker interface.
+type TickerFunc func(now time.Duration)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(now time.Duration) { f(now) }
+
+var _ Ticker = TickerFunc(nil)
+
+// Runner drives a fixed-step simulation: each step it advances the clock,
+// fires due scheduled events, then ticks every registered component in
+// registration order. Deterministic ordering is a correctness requirement —
+// the paper's results are averages over seeded runs, and reproducing a run
+// must reproduce its exact event interleaving.
+type Runner struct {
+	clock   *Clock
+	queue   *EventQueue
+	tickers []Ticker
+}
+
+// NewRunner returns a runner with the given tick granularity.
+func NewRunner(step time.Duration) (*Runner, error) {
+	clock, err := NewClock(step)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		clock: clock,
+		queue: NewEventQueue(),
+	}, nil
+}
+
+// Clock exposes the virtual clock.
+func (r *Runner) Clock() *Clock { return r.clock }
+
+// Schedule enqueues an event at an absolute virtual time. Events scheduled
+// in the past fire on the next step.
+func (r *Runner) Schedule(at time.Duration, fire Event) {
+	r.queue.ScheduleAt(at, fire)
+}
+
+// ScheduleAfter enqueues an event delay after the current virtual time.
+func (r *Runner) ScheduleAfter(delay time.Duration, fire Event) {
+	r.queue.ScheduleAt(r.clock.Now()+delay, fire)
+}
+
+// AddTicker registers a per-step component. Tickers run in registration
+// order after the step's due events have fired.
+func (r *Runner) AddTicker(t Ticker) {
+	r.tickers = append(r.tickers, t)
+}
+
+// Run advances the simulation until the clock reaches d (inclusive of the
+// final step) or ctx is cancelled. It returns the number of steps executed.
+func (r *Runner) Run(ctx context.Context, d time.Duration) (int, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("sim: negative run duration %v", d)
+	}
+	steps := 0
+	for r.clock.Now() < d {
+		select {
+		case <-ctx.Done():
+			return steps, ctx.Err()
+		default:
+		}
+		now := r.clock.Advance()
+		r.queue.RunDue(now)
+		for _, t := range r.tickers {
+			t.Tick(now)
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// RunSteps advances exactly n steps (useful in tests).
+func (r *Runner) RunSteps(n int) {
+	for i := 0; i < n; i++ {
+		now := r.clock.Advance()
+		r.queue.RunDue(now)
+		for _, t := range r.tickers {
+			t.Tick(now)
+		}
+	}
+}

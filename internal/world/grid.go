@@ -1,0 +1,250 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtnsim/internal/ident"
+)
+
+// Grid is a spatial hash over the simulation area. Cell size equals the
+// query radius, so a radius query needs to inspect at most the 3×3 block of
+// cells around the query point. Positions are updated in place each step and
+// neighbor queries are read-only, which keeps the per-step cost linear in
+// the number of nodes plus the number of nearby pairs.
+type Grid struct {
+	bounds Rect
+	cell   float64
+	cols   int
+	rows   int
+	cells  [][]ident.NodeID
+	pos    map[ident.NodeID]Point
+	cellOf map[ident.NodeID]int
+}
+
+// NewGrid builds a grid over bounds with the given cell size (normally the
+// radio range). Cell size must be positive.
+func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("world: cell size must be positive, got %v", cellSize)
+	}
+	if bounds.Width <= 0 || bounds.Height <= 0 {
+		return nil, fmt.Errorf("world: bounds must have positive area, got %v×%v", bounds.Width, bounds.Height)
+	}
+	cols := int(math.Ceil(bounds.Width/cellSize)) + 1
+	rows := int(math.Ceil(bounds.Height/cellSize)) + 1
+	return &Grid{
+		bounds: bounds,
+		cell:   cellSize,
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]ident.NodeID, cols*rows),
+		pos:    make(map[ident.NodeID]Point),
+		cellOf: make(map[ident.NodeID]int),
+	}, nil
+}
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int(p.X / g.cell)
+	cy := int(p.Y / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Upsert places or moves a node. Positions outside the bounds are clamped,
+// matching the mobility models which never leave the area.
+func (g *Grid) Upsert(id ident.NodeID, p Point) {
+	p = g.bounds.Clamp(p)
+	newCell := g.cellIndex(p)
+	if old, ok := g.cellOf[id]; ok {
+		if old == newCell {
+			g.pos[id] = p
+			return
+		}
+		g.removeFromCell(id, old)
+	}
+	g.cells[newCell] = append(g.cells[newCell], id)
+	g.cellOf[id] = newCell
+	g.pos[id] = p
+}
+
+// Remove deletes a node from the grid. Removing an absent node is a no-op.
+func (g *Grid) Remove(id ident.NodeID) {
+	cell, ok := g.cellOf[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(id, cell)
+	delete(g.cellOf, id)
+	delete(g.pos, id)
+}
+
+func (g *Grid) removeFromCell(id ident.NodeID, cell int) {
+	members := g.cells[cell]
+	for i, m := range members {
+		if m == id {
+			members[i] = members[len(members)-1]
+			g.cells[cell] = members[:len(members)-1]
+			return
+		}
+	}
+}
+
+// Position returns a node's current position; ok is false for unknown nodes.
+func (g *Grid) Position(id ident.NodeID) (Point, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Len returns the number of nodes currently in the grid.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Within appends to dst all nodes other than id within radius of id's
+// position, sorted by NodeID for determinism, and returns the extended
+// slice. Radius must not exceed the grid's cell size times 1 (the 3×3 block
+// guarantee); larger radii fall back to widening the scanned block.
+func (g *Grid) Within(dst []ident.NodeID, id ident.NodeID, radius float64) []ident.NodeID {
+	center, ok := g.pos[id]
+	if !ok {
+		return dst
+	}
+	start := len(dst)
+	dst = g.withinPoint(dst, center, radius, id)
+	sortIDs(dst[start:])
+	return dst
+}
+
+// WithinPoint appends all nodes within radius of p, sorted by NodeID.
+func (g *Grid) WithinPoint(dst []ident.NodeID, p Point, radius float64) []ident.NodeID {
+	start := len(dst)
+	dst = g.withinPoint(dst, p, radius, ident.Nobody)
+	sortIDs(dst[start:])
+	return dst
+}
+
+func (g *Grid) withinPoint(dst []ident.NodeID, center Point, radius float64, exclude ident.NodeID) []ident.NodeID {
+	if radius <= 0 {
+		return dst
+	}
+	reach := int(math.Ceil(radius / g.cell))
+	cx := int(center.X / g.cell)
+	cy := int(center.Y / g.cell)
+	r2 := radius * radius
+	for dy := -reach; dy <= reach; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -reach; dx <= reach; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, m := range g.cells[y*g.cols+x] {
+				if m == exclude {
+					continue
+				}
+				if g.pos[m].Dist2(center) <= r2 {
+					dst = append(dst, m)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Pairs appends every unordered pair of distinct nodes within radius of each
+// other, as (lo, hi) with lo < hi, sorted lexicographically. This is the
+// contact-detection primitive: the engine diffs consecutive Pairs results to
+// derive contact-up and contact-down events.
+func (g *Grid) Pairs(dst []Pair, radius float64) []Pair {
+	if radius <= 0 {
+		return dst
+	}
+	start := len(dst)
+	r2 := radius * radius
+	reach := int(math.Ceil(radius / g.cell))
+	for cy := 0; cy < g.rows; cy++ {
+		for cx := 0; cx < g.cols; cx++ {
+			members := g.cells[cy*g.cols+cx]
+			if len(members) == 0 {
+				continue
+			}
+			// Pairs within the same cell.
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					a, b := members[i], members[j]
+					if g.pos[a].Dist2(g.pos[b]) <= r2 {
+						dst = append(dst, orderedPair(a, b))
+					}
+				}
+			}
+			// Pairs against forward-neighbor cells only, so each cell pair
+			// is visited once.
+			for dy := 0; dy <= reach; dy++ {
+				y := cy + dy
+				if y >= g.rows {
+					break
+				}
+				minDX := -reach
+				if dy == 0 {
+					minDX = 1
+				}
+				for dx := minDX; dx <= reach; dx++ {
+					x := cx + dx
+					if x < 0 || x >= g.cols {
+						continue
+					}
+					other := g.cells[y*g.cols+x]
+					for _, a := range members {
+						pa := g.pos[a]
+						for _, b := range other {
+							if pa.Dist2(g.pos[b]) <= r2 {
+								dst = append(dst, orderedPair(a, b))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sortPairs(dst[start:])
+	return dst
+}
+
+// Pair is an unordered node pair with Lo < Hi.
+type Pair struct {
+	Lo, Hi ident.NodeID
+}
+
+func orderedPair(a, b ident.NodeID) Pair {
+	if a < b {
+		return Pair{Lo: a, Hi: b}
+	}
+	return Pair{Lo: b, Hi: a}
+}
+
+func sortIDs(ids []ident.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Lo != ps[j].Lo {
+			return ps[i].Lo < ps[j].Lo
+		}
+		return ps[i].Hi < ps[j].Hi
+	})
+}

@@ -1,0 +1,45 @@
+package world
+
+import (
+	"testing"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+// BenchmarkGridPairs measures contact detection at the paper's density
+// (100 nodes/km², 100 m radius) — the per-tick hot path.
+func BenchmarkGridPairs(b *testing.B) {
+	rng := sim.NewRNG(1)
+	bounds := SquareKm(5)
+	g, err := NewGrid(bounds, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		g.Upsert(ident.NodeID(i), Point{rng.Range(0, bounds.Width), rng.Range(0, bounds.Height)})
+	}
+	var scratch []Pair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = g.Pairs(scratch[:0], 100)
+	}
+}
+
+// BenchmarkGridUpsert measures the per-node position update.
+func BenchmarkGridUpsert(b *testing.B) {
+	rng := sim.NewRNG(2)
+	bounds := SquareKm(5)
+	g, err := NewGrid(bounds, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		g.Upsert(ident.NodeID(i), Point{rng.Range(0, bounds.Width), rng.Range(0, bounds.Height)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ident.NodeID(i % 500)
+		g.Upsert(id, Point{rng.Range(0, bounds.Width), rng.Range(0, bounds.Height)})
+	}
+}

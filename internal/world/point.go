@@ -1,0 +1,85 @@
+// Package world provides the 2-D geometry substrate for the DTN simulator: a
+// bounded rectangular area (the paper simulates 5 km²) and a spatial hash
+// grid that answers "which nodes are within radio range" queries without an
+// O(n²) scan per step.
+package world
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in metres within the simulation area.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance to q in metres.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared distance to q; range checks compare squared
+// distances to avoid the Sqrt in the hot path.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String formats the point for diagnostics.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Vector is a displacement in metres.
+type Vector struct {
+	DX, DY float64
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.DX * k, v.DY * k} }
+
+// Len returns the vector's magnitude.
+func (v Vector) Len() float64 { return math.Sqrt(v.DX*v.DX + v.DY*v.DY) }
+
+// Unit returns the direction of v, or the zero vector if v is zero.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return Vector{v.DX / l, v.DY / l}
+}
+
+// Rect is an axis-aligned area with its origin at (0, 0).
+type Rect struct {
+	Width, Height float64
+}
+
+// SquareKm returns a square area of the given size in square kilometres,
+// matching how the paper states its simulation area ("5 sq.km.").
+func SquareKm(km2 float64) Rect {
+	side := math.Sqrt(km2) * 1000
+	return Rect{Width: side, Height: side}
+}
+
+// Contains reports whether p lies within the rectangle (inclusive edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.Width && p.Y >= 0 && p.Y <= r.Height
+}
+
+// Clamp returns p moved to the nearest point inside the rectangle.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(0, math.Min(r.Width, p.X)),
+		Y: math.Max(0, math.Min(r.Height, p.Y)),
+	}
+}
+
+// Area returns the rectangle's area in square metres.
+func (r Rect) Area() float64 { return r.Width * r.Height }
