@@ -13,6 +13,7 @@ package dtnsim_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"dtnsim/internal/core"
@@ -250,6 +251,45 @@ func BenchmarkSensitivity(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(points)), "settings")
+	}
+}
+
+// BenchmarkSweepScheduler pushes the Figure 5.1 sweep through the bounded
+// work-stealing pool at GOMAXPROCS workers (the dtnexp default), measuring
+// end-to-end scheduler throughput — (point × scheme × seed) jobs flattened
+// into one shared queue — in simulated seconds retired per wall second.
+func BenchmarkSweepScheduler(b *testing.B) {
+	pool := experiment.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	pr := experiment.NewProgress()
+	pool.SetProgress(pr)
+	ctx := experiment.WithPool(context.Background(), pool)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.SelfishSweep(ctx, benchProfile(), []int{0, 40, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 3 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+	s := pr.Snapshot()
+	b.ReportMetric(s.Throughput(), "sim-s/wall-s")
+	b.ReportMetric(float64(s.Done)/float64(b.N), "jobs/op")
+}
+
+// BenchmarkSweepSchedulerSingleWorker is the same sweep pinned to one
+// worker — the sequential baseline for the scheduler's speedup.
+func BenchmarkSweepSchedulerSingleWorker(b *testing.B) {
+	pool := experiment.NewPool(1)
+	defer pool.Close()
+	ctx := experiment.WithPool(context.Background(), pool)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SelfishSweep(ctx, benchProfile(), []int{0, 40, 80}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

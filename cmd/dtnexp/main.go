@@ -4,11 +4,17 @@
 // Usage:
 //
 //	dtnexp -exp fig5.1 -profile quick
-//	dtnexp -exp all    -profile paper   # Table 5.1 scale; takes hours
+//	dtnexp -exp all    -profile paper -parallel 8 -progress
 //
 // Profiles scale the network while preserving the paper's node density
 // (100 participants per km²): "paper" is Table 5.1 exactly, "quick"
 // completes the full suite in minutes, "bench" matches the testing.B scale.
+//
+// Every sweep runs on one bounded work-stealing pool shared across the
+// suite — independent jobs of (sweep point × scheme × seed) — so the run
+// scales with cores while the printed tables stay byte-identical to the
+// sequential (-parallel 1) output. -progress reports live throughput and
+// ETA; -cpuprofile records a pprof profile.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dtnsim/internal/experiment"
@@ -33,6 +41,9 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, or all")
 	profileName := fs.String("profile", "quick", "scale profile: paper, quick, or bench")
 	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
+	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
+	progress := fs.Bool("progress", false, "print live scheduler progress (jobs done/total, sim-s per wall-s, ETA) to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +56,35 @@ func run(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// One bounded pool for the whole suite: every sweep's (point × scheme ×
+	// seed) jobs share these workers, so -exp all scales with cores without
+	// oversubscribing.
+	workers := runtime.GOMAXPROCS(0)
+	if *parallel > 0 && *parallel < workers {
+		workers = *parallel
+	}
+	pool := experiment.NewPool(workers)
+	defer pool.Close()
+	ctx = experiment.WithPool(ctx, pool)
+	if *progress {
+		pr := experiment.NewProgress()
+		pool.SetProgress(pr)
+		stop := pr.Start(os.Stderr, time.Second)
+		defer stop()
 	}
 
 	runners := map[string]func() error{

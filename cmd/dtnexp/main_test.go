@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestRunTable51(t *testing.T) {
 	if err := run([]string{"-exp", "table5.1", "-profile", "bench"}); err != nil {
@@ -24,5 +27,28 @@ func TestRunHonorsTimeout(t *testing.T) {
 	// A 1 ns budget must cancel the first simulation run.
 	if err := run([]string{"-exp", "fig5.4", "-profile", "bench", "-timeout", "1ns"}); err == nil {
 		t.Error("expired timeout should surface as an error")
+	}
+}
+
+func TestRunParallelAndProgressFlags(t *testing.T) {
+	// The scheduler flags must work end to end on a tiny artifact; the
+	// progress reporter writes to stderr and must shut down cleanly.
+	if err := run([]string{"-exp", "repmodels", "-profile", "bench", "-parallel", "2", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCPUProfile(t *testing.T) {
+	path := t.TempDir() + "/cpu.out"
+	if err := run([]string{"-exp", "table5.1", "-profile", "bench", "-cpuprofile", path}); err != nil {
+		t.Fatal(err)
+	}
+	// The profile file must exist and be non-trivial.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("cpu profile is empty")
 	}
 }

@@ -21,8 +21,45 @@ type contact struct {
 	startedAt    time.Duration
 	lastExchange time.Duration
 	lastGossip   time.Duration
-	queue        []*transfer
-	active       *transfer
+	// queue[queueHead:] are the pending transfers. Dequeuing advances
+	// queueHead instead of reslicing from the front, so a long-lived
+	// contact releases its consumed prefix (see pop) rather than pinning
+	// the backing array's head for the life of the encounter.
+	queue     []*transfer
+	queueHead int
+	active    *transfer
+}
+
+// pending returns the not-yet-started transfers in negotiation order.
+func (c *contact) pending() []*transfer { return c.queue[c.queueHead:] }
+
+// push appends a transfer to the pending queue.
+func (c *contact) push(t *transfer) { c.queue = append(c.queue, t) }
+
+// pop removes and returns the oldest pending transfer, or nil. Consumed
+// slots are nilled immediately so finished transfers can be collected, and
+// the buffer is compacted once the consumed prefix dominates it, keeping a
+// long-lived contact's queue from growing monotonically.
+func (c *contact) pop() *transfer {
+	if c.queueHead == len(c.queue) {
+		return nil
+	}
+	t := c.queue[c.queueHead]
+	c.queue[c.queueHead] = nil
+	c.queueHead++
+	switch {
+	case c.queueHead == len(c.queue):
+		c.queue = c.queue[:0]
+		c.queueHead = 0
+	case c.queueHead >= 32 && 2*c.queueHead >= len(c.queue):
+		n := copy(c.queue, c.queue[c.queueHead:])
+		for i := n; i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:n]
+		c.queueHead = 0
+	}
+	return t
 }
 
 // other returns the peer of n on this contact.
@@ -38,7 +75,7 @@ func (c *contact) hasTransfer(m *message.Message, dst *Node) bool {
 	if c.active != nil && c.active.msg.ID == m.ID && c.active.to == dst {
 		return true
 	}
-	for _, t := range c.queue {
+	for _, t := range c.pending() {
 		if t.msg.ID == m.ID && t.to == dst {
 			return true
 		}

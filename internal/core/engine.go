@@ -104,7 +104,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		contacts:    make(map[world.Pair]*contact),
 		peersOf:     make(map[ident.NodeID][]*contact),
 		nextSample:  cfg.RatingSampleInterval,
-		nextExpiry:  time.Minute,
+		nextExpiry:  expiryInterval,
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
 	}
 	if s, ok := router.(*routing.SprayAndWait); ok {
@@ -269,15 +269,33 @@ func (e *Engine) tick(now time.Duration) {
 	e.updateContacts(now)
 	e.progressContacts(now)
 	if e.cfg.RatingSampleInterval > 0 && now >= e.nextSample {
-		e.sampleMaliciousRating(now)
-		e.nextSample = now + e.cfg.RatingSampleInterval
+		// Stamp the sample with the due time, not the (possibly late)
+		// firing tick: when the step doesn't divide the interval the tick
+		// lands after the deadline, and stamping/rescheduling from it would
+		// drift the whole series later by up to one step per sample.
+		e.sampleMaliciousRating(e.nextSample)
+		e.nextSample = nextDeadline(e.nextSample, e.cfg.RatingSampleInterval, now)
 	}
 	if e.cfg.MessageTTL > 0 && now >= e.nextExpiry {
 		for _, n := range e.nodes {
 			n.buf.ExpireAt(now)
 		}
-		e.nextExpiry = now + time.Minute
+		e.nextExpiry = nextDeadline(e.nextExpiry, expiryInterval, now)
 	}
+}
+
+// expiryInterval is how often buffers are scanned for TTL-expired messages.
+const expiryInterval = time.Minute
+
+// nextDeadline advances a periodic deadline by whole intervals until it
+// lands after now, keeping the schedule on the interval grid however late
+// the firing tick was, without queueing catch-up firings after a stall.
+func nextDeadline(due, interval, now time.Duration) time.Duration {
+	due += interval
+	if due <= now {
+		due += ((now - due) / interval + 1) * interval
+	}
+	return due
 }
 
 func (e *Engine) moveNodes() {
@@ -380,18 +398,30 @@ func (e *Engine) contactDown(c *contact) {
 	if !c.open {
 		return
 	}
-	e.record(report.Event{At: e.runner.Clock().Now(), Kind: report.ContactDown, A: c.a.id, B: c.b.id})
+	now := e.runner.Clock().Now()
+	e.record(report.Event{At: now, Kind: report.ContactDown, A: c.a.id, B: c.b.id})
 	if c.active != nil {
-		e.collector.TransferAborted()
-		e.record(report.Event{
-			At: e.runner.Clock().Now(), Kind: report.TransferAborted,
-			A: c.active.from.id, B: c.active.to.id, Msg: c.active.msg.ID,
-		})
+		e.abortTransfer(c.active, now)
 		c.active = nil
 	}
-	c.queue = nil
+	// Queued-but-unstarted transfers die with the contact too; count them
+	// so the aborted tally and the event trace reflect all abandoned work,
+	// not just the one handover that was mid-flight.
+	for _, t := range c.pending() {
+		e.abortTransfer(t, now)
+	}
+	c.queue, c.queueHead = nil, 0
 	e.peersOf[c.a.id] = removeContact(e.peersOf[c.a.id], c)
 	e.peersOf[c.b.id] = removeContact(e.peersOf[c.b.id], c)
+}
+
+// abortTransfer records one transfer abandoned by a contact teardown.
+func (e *Engine) abortTransfer(t *transfer, now time.Duration) {
+	e.collector.TransferAborted()
+	e.record(report.Event{
+		At: now, Kind: report.TransferAborted,
+		A: t.from.id, B: t.to.id, Msg: t.msg.ID,
+	})
 }
 
 func removeContact(list []*contact, c *contact) []*contact {

@@ -81,7 +81,7 @@ func (e *Engine) routeDirection(c *contact, u, v *Node, now time.Duration) {
 		if !ok {
 			continue
 		}
-		c.queue = append(c.queue, t)
+		c.push(t)
 	}
 }
 

@@ -38,15 +38,16 @@ func (e *Engine) progressTransfer(c *contact, now time.Duration) {
 // received the message over another contact, or the destination pair may
 // have been served elsewhere).
 func (e *Engine) popValid(c *contact) *transfer {
-	for len(c.queue) > 0 {
-		t := c.queue[0]
-		c.queue = c.queue[1:]
+	for {
+		t := c.pop()
+		if t == nil {
+			return nil
+		}
 		if !e.stillValid(t) {
 			continue
 		}
 		return t
 	}
-	return nil
 }
 
 func (e *Engine) stillValid(t *transfer) bool {

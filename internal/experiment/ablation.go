@@ -70,20 +70,22 @@ func ReputationModelComparison(ctx context.Context, p Profile) (Table, map[strin
 		Title:   fmt.Sprintf("Reputation models — malicious recognition (%s profile)", p.Name),
 		Columns: []string{"model", "final-malicious-rating", "refused(reputation)"},
 	}
-	for _, model := range []string{"drm", "beta"} {
+	models := []string{"drm", "beta"}
+	jobs := make([]runJob, 0, len(models))
+	for _, model := range models {
 		spec := p.baseSpec(core.SchemeIncentive)
 		spec.MaliciousPercent = 20
 		spec.MaliciousLowQuality = true
 		spec.BetaReputation = model == "beta"
 		spec.Seed = p.Seeds[0]
-		eng, err := scenario.BuildEngine(spec)
-		if err != nil {
-			return Table{}, nil, err
-		}
-		res, err := eng.Run(ctx)
-		if err != nil {
-			return Table{}, nil, err
-		}
+		jobs = append(jobs, runJob{spec: spec})
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	for i, model := range models {
+		res := results[i]
 		series := Fig54Series{MaliciousPercent: 20, Samples: res.RatingSeries}
 		out[model] = series
 		t.Rows = append(t.Rows, []string{
@@ -105,27 +107,24 @@ func BatterySweep(ctx context.Context, p Profile) (Table, map[float64]Avg, error
 		Title:   fmt.Sprintf("Battery sweep — MDR vs radio energy budget (%s profile)", p.Name),
 		Columns: []string{"budget(J)", "MDR", "transfers", "deadRadios"},
 	}
+	var jobs []runJob
 	for _, budget := range budgets {
 		spec := p.baseSpec(core.SchemeIncentive)
 		spec.BatteryJoules = budget
+		jobs = append(jobs, seedJobs(spec, p.Seeds, nil)...)
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
+	for i, budget := range budgets {
 		var dead float64
-		avg := Avg{}
-		for _, seed := range p.Seeds {
-			s := spec
-			s.Seed = seed
-			eng, err := scenario.BuildEngine(s)
-			if err != nil {
-				return Table{}, nil, err
-			}
-			res, err := eng.Run(ctx)
-			if err != nil {
-				return Table{}, nil, err
-			}
-			avg.accumulate(res)
+		for _, res := range results[i*len(p.Seeds) : (i+1)*len(p.Seeds)] {
 			dead += float64(res.DeadRadios)
 		}
-		avg.finish()
 		dead /= float64(len(p.Seeds))
+		avg := avgs[i]
 		out[budget] = avg
 		label := f1(budget)
 		if budget == 0 {
@@ -137,16 +136,15 @@ func BatterySweep(ctx context.Context, p Profile) (Table, map[float64]Avg, error
 }
 
 func runAblation(ctx context.Context, p Profile, name string, base scenario.Spec, disable func(*scenario.Spec)) (Table, AblationResult, error) {
-	full, err := RunAveraged(ctx, base, p.Seeds)
-	if err != nil {
-		return Table{}, AblationResult{}, err
-	}
 	ablatedSpec := base
 	disable(&ablatedSpec)
-	ablated, err := RunAveraged(ctx, ablatedSpec, p.Seeds)
+	jobs := append(seedJobs(base, p.Seeds, nil), seedJobs(ablatedSpec, p.Seeds, nil)...)
+	results, err := runJobs(ctx, jobs)
 	if err != nil {
 		return Table{}, AblationResult{}, err
 	}
+	avgs := avgSlots(results, len(p.Seeds))
+	full, ablated := avgs[0], avgs[1]
 	res := AblationResult{Name: name, Full: full, Ablated: ablated}
 	t := Table{
 		Title:   fmt.Sprintf("Ablation — %s on/off (%s profile)", name, p.Name),
@@ -172,13 +170,19 @@ func BaselineComparison(ctx context.Context, p Profile) (Table, map[string]Avg, 
 		Title:   fmt.Sprintf("Router comparison under the incentive layer (%s profile)", p.Name),
 		Columns: []string{"router", "MDR", "transfers", "relay"},
 	}
+	var jobs []runJob
 	for _, name := range names {
 		spec := p.baseSpec(core.SchemeIncentive)
 		spec.RouterName = name
-		avg, err := RunAveraged(ctx, spec, p.Seeds)
-		if err != nil {
-			return Table{}, nil, err
-		}
+		jobs = append(jobs, seedJobs(spec, p.Seeds, nil)...)
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
+	for i, name := range names {
+		avg := avgs[i]
 		out[name] = avg
 		t.Rows = append(t.Rows, []string{name, f3(avg.MDR), f0(avg.Transfers), f0(avg.RelayTransfers)})
 	}

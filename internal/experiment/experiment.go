@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 	"time"
 
 	"dtnsim/internal/core"
@@ -122,36 +121,19 @@ type Avg struct {
 	mdrValues []float64
 }
 
-// RunAveraged executes the spec once per seed — concurrently, one goroutine
-// per seed, since runs are independent single-threaded simulations — and
-// averages the observables. Results accumulate in seed order regardless of
-// completion order, so the averages are bit-for-bit reproducible.
+// RunAveraged executes the spec once per seed on the sweep scheduler —
+// the context's Pool when present, else a transient GOMAXPROCS-bounded one
+// — and averages the observables. Results accumulate in seed order
+// regardless of completion order, so the averages are bit-for-bit
+// reproducible.
 func RunAveraged(ctx context.Context, spec scenario.Spec, seeds []int64) (Avg, error) {
-	results := make([]core.Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		i, seed := i, seed
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := spec
-			s.Seed = seed
-			eng, err := scenario.BuildEngine(s)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = eng.Run(ctx)
-		}()
+	results, err := runJobs(ctx, seedJobs(spec, seeds, nil))
+	if err != nil {
+		return Avg{}, err
 	}
-	wg.Wait()
 	var avg Avg
-	for i := range seeds {
-		if errs[i] != nil {
-			return Avg{}, errs[i]
-		}
-		avg.accumulate(results[i])
+	for _, res := range results {
+		avg.accumulate(res)
 	}
 	avg.finish()
 	return avg, nil

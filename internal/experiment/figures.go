@@ -28,28 +28,34 @@ func (p Fig51Point) TrafficReduction() float64 {
 
 // SelfishSweep runs both schemes across the selfish-percentage axis shared
 // by Figures 5.1 and 5.2 ("we vary the percentage of selfish nodes at a
-// rate of 10% from 0 to 100 percent").
+// rate of 10% from 0 to 100 percent"). The whole grid — (percent × scheme ×
+// seed) — is submitted to the sweep scheduler as one flat batch and
+// aggregated in submission order.
 func SelfishSweep(ctx context.Context, p Profile, percents []int) ([]Fig51Point, error) {
 	if len(percents) == 0 {
 		percents = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
-	points := make([]Fig51Point, 0, len(percents))
+	schemes := []core.Scheme{core.SchemeChitChat, core.SchemeIncentive}
+	var jobs []runJob
 	for _, pct := range percents {
-		point := Fig51Point{SelfishPercent: pct}
-		for _, scheme := range []core.Scheme{core.SchemeChitChat, core.SchemeIncentive} {
+		for _, scheme := range schemes {
 			spec := p.baseSpec(scheme)
 			spec.SelfishPercent = pct
-			avg, err := RunAveraged(ctx, spec, p.Seeds)
-			if err != nil {
-				return nil, err
-			}
-			if scheme == core.SchemeChitChat {
-				point.ChitChat = avg
-			} else {
-				point.Incentive = avg
-			}
+			jobs = append(jobs, seedJobs(spec, p.Seeds, nil)...)
 		}
-		points = append(points, point)
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
+	points := make([]Fig51Point, 0, len(percents))
+	for i, pct := range percents {
+		points = append(points, Fig51Point{
+			SelfishPercent: pct,
+			ChitChat:       avgs[2*i],
+			Incentive:      avgs[2*i+1],
+		})
 	}
 	return points, nil
 }
@@ -114,21 +120,31 @@ type Fig53Point struct {
 func Fig53(ctx context.Context, p Profile) (Table, []Fig53Point, error) {
 	tokenLevels := []float64{50, 100, 200, 400}
 	selfish := []int{20, 40, 60}
+	var jobs []runJob
+	for _, tokens := range tokenLevels {
+		for _, pct := range selfish {
+			spec := p.baseSpec(core.SchemeIncentive)
+			spec.SelfishPercent = pct
+			spec.InitialTokens = tokens
+			jobs = append(jobs, seedJobs(spec, p.Seeds, nil)...)
+		}
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
 	var points []Fig53Point
 	t := Table{
 		Title:   fmt.Sprintf("Figure 5.3 — MDR vs initial tokens (%s profile)", p.Name),
 		Columns: []string{"tokens", "MDR(20% selfish)", "MDR(40% selfish)", "MDR(60% selfish)"},
 	}
+	slot := 0
 	for _, tokens := range tokenLevels {
 		row := []string{f0(tokens)}
 		for _, pct := range selfish {
-			spec := p.baseSpec(core.SchemeIncentive)
-			spec.SelfishPercent = pct
-			spec.InitialTokens = tokens
-			avg, err := RunAveraged(ctx, spec, p.Seeds)
-			if err != nil {
-				return Table{}, nil, err
-			}
+			avg := avgs[slot]
+			slot++
 			points = append(points, Fig53Point{InitialTokens: tokens, SelfishPercent: pct, Incentive: avg})
 			row = append(row, f3(avg.MDR))
 		}
@@ -157,21 +173,21 @@ func (s Fig54Series) Final() float64 {
 // Time series come from the first seed (the paper plots single trajectories).
 func Fig54(ctx context.Context, p Profile) (Table, []Fig54Series, error) {
 	percents := []int{10, 20, 30, 40}
-	var series []Fig54Series
+	jobs := make([]runJob, 0, len(percents))
 	for _, pct := range percents {
 		spec := p.baseSpec(core.SchemeIncentive)
 		spec.MaliciousPercent = pct
 		spec.MaliciousLowQuality = true
 		spec.Seed = p.Seeds[0]
-		eng, err := scenario.BuildEngine(spec)
-		if err != nil {
-			return Table{}, nil, err
-		}
-		res, err := eng.Run(ctx)
-		if err != nil {
-			return Table{}, nil, err
-		}
-		series = append(series, Fig54Series{MaliciousPercent: pct, Samples: res.RatingSeries})
+		jobs = append(jobs, runJob{spec: spec})
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	var series []Fig54Series
+	for i, pct := range percents {
+		series = append(series, Fig54Series{MaliciousPercent: pct, Samples: results[i].RatingSeries})
 	}
 	t := Table{
 		Title:   fmt.Sprintf("Figure 5.4 — avg rating of malicious nodes vs time (%s profile)", p.Name),
@@ -206,25 +222,30 @@ type Fig55Point struct {
 // stays fixed so density rises with the user count, as in the paper.
 func Fig55(ctx context.Context, p Profile) (Table, []Fig55Point, error) {
 	multipliers := []int{1, 2, 3}
+	schemes := []core.Scheme{core.SchemeChitChat, core.SchemeIncentive}
+	var jobs []runJob
+	for _, mul := range multipliers {
+		for _, scheme := range schemes {
+			spec := p.baseSpec(scheme)
+			spec.Nodes = p.Nodes * mul
+			jobs = append(jobs, seedJobs(spec, p.Seeds, nil)...)
+		}
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
 	var points []Fig55Point
 	t := Table{
 		Title:   fmt.Sprintf("Figure 5.5 — MDR vs number of users (%s profile)", p.Name),
 		Columns: []string{"users", "MDR(chitchat)", "MDR(incentive)"},
 	}
-	for _, mul := range multipliers {
-		point := Fig55Point{Users: p.Nodes * mul}
-		for _, scheme := range []core.Scheme{core.SchemeChitChat, core.SchemeIncentive} {
-			spec := p.baseSpec(scheme)
-			spec.Nodes = p.Nodes * mul
-			avg, err := RunAveraged(ctx, spec, p.Seeds)
-			if err != nil {
-				return Table{}, nil, err
-			}
-			if scheme == core.SchemeChitChat {
-				point.ChitChat = avg
-			} else {
-				point.Incentive = avg
-			}
+	for i, mul := range multipliers {
+		point := Fig55Point{
+			Users:     p.Nodes * mul,
+			ChitChat:  avgs[2*i],
+			Incentive: avgs[2*i+1],
 		}
 		points = append(points, point)
 		t.Rows = append(t.Rows, []string{
@@ -252,22 +273,36 @@ type Fig56Point struct {
 // the paper-default 250 MB buffers nothing is ever evicted at sub-paper
 // scales and the segmentation is flat.
 func Fig56(ctx context.Context, p Profile) (Table, []Fig56Point, error) {
+	percents := []int{20, 40}
+	schemes := []core.Scheme{core.SchemeChitChat, core.SchemeIncentive}
+	// Buffer pressure is applied after the scenario build, per seed job.
+	pressure := func(cfg *core.Config) { cfg.BufferCapacity = 8 << 20 }
+	var jobs []runJob
+	for _, pct := range percents {
+		for _, scheme := range schemes {
+			spec := p.baseSpec(scheme)
+			spec.SelfishPercent = pct
+			spec.ClassSplit = true
+			spec.MeanMessageInterval = p.MeanMessageInterval / 3
+			jobs = append(jobs, seedJobs(spec, p.Seeds, pressure)...)
+		}
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
 	var points []Fig56Point
 	t := Table{
 		Title:   fmt.Sprintf("Figure 5.6 — priority-segmented deliveries under storage pressure (%s profile)", p.Name),
 		Columns: []string{"selfish%", "scheme", "high", "medium", "low", "highMDR"},
 	}
-	for _, pct := range []int{20, 40} {
+	slot := 0
+	for _, pct := range percents {
 		point := Fig56Point{SelfishPercent: pct}
-		for _, scheme := range []core.Scheme{core.SchemeChitChat, core.SchemeIncentive} {
-			spec := p.baseSpec(scheme)
-			spec.SelfishPercent = pct
-			spec.ClassSplit = true
-			spec.MeanMessageInterval = p.MeanMessageInterval / 3
-			avg, err := runPressured(ctx, spec, p.Seeds, 8<<20)
-			if err != nil {
-				return Table{}, nil, err
-			}
+		for _, scheme := range schemes {
+			avg := avgs[slot]
+			slot++
 			if scheme == core.SchemeChitChat {
 				point.ChitChat = avg
 			} else {
@@ -276,48 +311,15 @@ func Fig56(ctx context.Context, p Profile) (Table, []Fig56Point, error) {
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%d", pct),
 				scheme.String(),
-				f0(avgFor(scheme, point).DeliveredHigh),
-				f0(avgFor(scheme, point).DeliveredMed),
-				f0(avgFor(scheme, point).DeliveredLow),
-				f3(avgFor(scheme, point).PriorityMDRs[0]),
+				f0(avg.DeliveredHigh),
+				f0(avg.DeliveredMed),
+				f0(avg.DeliveredLow),
+				f3(avg.PriorityMDRs[0]),
 			})
 		}
 		points = append(points, point)
 	}
 	return t, points, nil
-}
-
-// runPressured is RunAveraged with a buffer-capacity override applied
-// after the scenario build.
-func runPressured(ctx context.Context, spec scenario.Spec, seeds []int64, bufferBytes int64) (Avg, error) {
-	var avg Avg
-	for _, seed := range seeds {
-		s := spec
-		s.Seed = seed
-		cfg, specs, err := scenario.Build(s)
-		if err != nil {
-			return Avg{}, err
-		}
-		cfg.BufferCapacity = bufferBytes
-		eng, err := core.NewEngine(cfg, specs)
-		if err != nil {
-			return Avg{}, err
-		}
-		res, err := eng.Run(ctx)
-		if err != nil {
-			return Avg{}, err
-		}
-		avg.accumulate(res)
-	}
-	avg.finish()
-	return avg, nil
-}
-
-func avgFor(scheme core.Scheme, p Fig56Point) Avg {
-	if scheme == core.SchemeChitChat {
-		return p.ChitChat
-	}
-	return p.Incentive
 }
 
 // Table51 prints the simulation parameters (Table 5.1) as configured by the

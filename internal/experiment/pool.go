@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/scenario"
+)
+
+// Pool is the bounded scheduler behind every sweep in this package. Each
+// experiment flattens its parameter grid into independent jobs of one engine
+// run each — (sweep point × scheme × seed) — and submits them all at once;
+// the pool executes at most `workers` runs concurrently, shared across the
+// whole suite, so `dtnexp -exp all` keeps every core busy without
+// oversubscribing when several sweeps queue work back to back.
+//
+// The cap counts *actively executing* jobs: a goroutine blocked in a group
+// wait steals queued work (work-stealing keeps nested submissions
+// deadlock-free), and an executor that blocks in a nested wait releases its
+// slot while it is stalled, so parallelism never exceeds `workers` even
+// with stealing in play — `-parallel 1` really is the sequential baseline.
+//
+// Results land in pre-indexed slots owned by the submitter and are
+// aggregated in submission order after the group drains, so every printed
+// table is bit-for-bit identical to the sequential output regardless of the
+// order jobs happen to finish in.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*poolJob // pending jobs; popped LIFO from the tail (leak-free)
+	workers int
+	running int // jobs executing now, including executors blocked in a nested wait
+	stalled int // executors currently blocked in a nested group wait
+	closed  bool
+
+	progress *Progress
+}
+
+// NewPool starts a pool with the given concurrency cap (minimum 1). Close
+// releases its workers.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// SetProgress attaches an optional live reporter; every subsequent job
+// submission and completion updates it. Call before submitting work.
+func (p *Pool) SetProgress(pr *Progress) {
+	p.mu.Lock()
+	p.progress = pr
+	p.mu.Unlock()
+}
+
+// Close stops the workers once the queue drains. Jobs already queued still
+// run; submitting after Close is a programming error.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// canRunLocked reports whether a queued job may start without breaching the
+// active-execution cap. Caller holds p.mu.
+func (p *Pool) canRunLocked() bool {
+	return len(p.queue) > 0 && p.running-p.stalled < p.workers
+}
+
+// runOneLocked pops the tail job and executes it outside the lock,
+// maintaining the running count. Caller holds p.mu; the lock is held again
+// on return.
+func (p *Pool) runOneLocked() {
+	n := len(p.queue) - 1
+	j := p.queue[n]
+	p.queue[n] = nil
+	p.queue = p.queue[:n]
+	p.running++
+	p.mu.Unlock()
+	j.exec()
+	p.mu.Lock()
+	p.running--
+	if p.progress != nil {
+		p.progress.complete(j.simSeconds)
+	}
+	p.cond.Broadcast()
+}
+
+func (p *Pool) worker() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for !p.canRunLocked() {
+			if p.closed && len(p.queue) == 0 {
+				return
+			}
+			p.cond.Wait()
+		}
+		p.runOneLocked()
+	}
+}
+
+// poolJob is one queued engine run plus its owning group.
+type poolJob struct {
+	g          *group
+	simSeconds float64
+	run        func(ctx context.Context) error
+}
+
+// execMarker tags contexts passed into running jobs, so a group created
+// inside a job (nested submission) knows its waiter holds an execution slot
+// it should release while blocked.
+type execMarker struct{}
+
+func (j *poolJob) exec() {
+	g := j.g
+	err := g.ctx.Err()
+	if err == nil {
+		err = j.run(context.WithValue(g.ctx, execMarker{}, true))
+	}
+	p := g.p
+	p.mu.Lock()
+	if err != nil && g.err == nil {
+		g.err = err
+		g.cancel() // stop the group's remaining jobs promptly
+	}
+	g.pending--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// group tracks one batch of related jobs (one runJobs call): a derived
+// context cancelled on first failure, a pending count, and the first error.
+type group struct {
+	p        *Pool
+	ctx      context.Context
+	cancel   context.CancelFunc
+	fromExec bool  // created inside a running job; wait() releases its slot
+	pending  int   // guarded by p.mu
+	err      error // first failure, guarded by p.mu
+}
+
+func (p *Pool) newGroup(ctx context.Context) *group {
+	gctx, cancel := context.WithCancel(ctx)
+	return &group{
+		p:        p,
+		ctx:      gctx,
+		cancel:   cancel,
+		fromExec: ctx.Value(execMarker{}) != nil,
+	}
+}
+
+// submit queues one job. simSeconds is the job's simulated span, credited to
+// the progress reporter on completion.
+func (g *group) submit(simSeconds float64, fn func(ctx context.Context) error) {
+	p := g.p
+	p.mu.Lock()
+	g.pending++
+	p.queue = append(p.queue, &poolJob{g: g, simSeconds: simSeconds, run: fn})
+	if p.progress != nil {
+		p.progress.add(1)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// wait blocks until every job in the group has completed and returns the
+// group's first error. While blocked it steals queued jobs — from any group
+// — whenever a slot is free, so nested submissions (a job submitting a
+// sub-batch and waiting on it) make progress instead of deadlocking. A
+// waiter that is itself a pool executor counts as stalled for the duration,
+// freeing its slot to whoever steals its sub-jobs.
+func (g *group) wait() error {
+	p := g.p
+	p.mu.Lock()
+	if g.fromExec {
+		p.stalled++
+		p.cond.Broadcast()
+	}
+	for g.pending > 0 {
+		if p.canRunLocked() {
+			p.runOneLocked()
+			continue
+		}
+		p.cond.Wait()
+	}
+	if g.fromExec {
+		p.stalled--
+	}
+	err := g.err
+	p.mu.Unlock()
+	g.cancel()
+	return err
+}
+
+// poolKey carries the suite-wide Pool through a context.
+type poolKey struct{}
+
+// WithPool returns a context whose experiment runs execute on p. cmd/dtnexp
+// creates one pool for the whole suite and passes it down this way, so the
+// concurrency cap holds across every figure, ablation, and sweep.
+func WithPool(ctx context.Context, p *Pool) context.Context {
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+func poolFrom(ctx context.Context) *Pool {
+	p, _ := ctx.Value(poolKey{}).(*Pool)
+	return p
+}
+
+// runJob is one independent engine execution: a fully-seeded spec plus an
+// optional post-build config override (buffer pressure, sensitivity knobs).
+type runJob struct {
+	spec  scenario.Spec
+	tweak func(*core.Config)
+}
+
+// seedJobs expands spec into one job per seed, all sharing tweak.
+func seedJobs(spec scenario.Spec, seeds []int64, tweak func(*core.Config)) []runJob {
+	jobs := make([]runJob, len(seeds))
+	for i, seed := range seeds {
+		s := spec
+		s.Seed = seed
+		jobs[i] = runJob{spec: s, tweak: tweak}
+	}
+	return jobs
+}
+
+// runJobs executes every job — on the context's Pool when present, else on a
+// transient GOMAXPROCS-bounded pool — and returns results indexed like jobs,
+// so aggregation order never depends on completion order. On any failure the
+// remaining jobs are cancelled and the first error is returned; a cancelled
+// ctx surfaces as ctx.Err().
+func runJobs(ctx context.Context, jobs []runJob) ([]core.Result, error) {
+	p := poolFrom(ctx)
+	if p == nil {
+		p = NewPool(runtime.GOMAXPROCS(0))
+		defer p.Close()
+	}
+	results := make([]core.Result, len(jobs))
+	g := p.newGroup(ctx)
+	for i, job := range jobs {
+		g.submit(job.spec.Duration.Seconds(), func(ctx context.Context) error {
+			res, err := runOne(ctx, job)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
+	}
+	if err := g.wait(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runOne builds and runs a single engine.
+func runOne(ctx context.Context, j runJob) (core.Result, error) {
+	cfg, specs, err := scenario.Build(j.spec)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if j.tweak != nil {
+		j.tweak(&cfg)
+	}
+	eng, err := core.NewEngine(cfg, specs)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return eng.Run(ctx)
+}
+
+// avgSlots collapses runJobs results laid out as consecutive per-seed runs
+// — slot 0's seeds, then slot 1's, … — into one Avg per slot.
+func avgSlots(results []core.Result, seedsPerSlot int) []Avg {
+	avgs := make([]Avg, 0, len(results)/seedsPerSlot)
+	for i := 0; i < len(results); i += seedsPerSlot {
+		var avg Avg
+		for _, res := range results[i : i+seedsPerSlot] {
+			avg.accumulate(res)
+		}
+		avg.finish()
+		avgs = append(avgs, avg)
+	}
+	return avgs
+}

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dtnsim/internal/core"
+)
+
+// poolCtx wires a fresh pool into a context and cleans it up with the test.
+func poolCtx(t *testing.T, workers int) context.Context {
+	t.Helper()
+	p := NewPool(workers)
+	t.Cleanup(p.Close)
+	return WithPool(context.Background(), p)
+}
+
+// TestParallelOutputMatchesSequential is the scheduler's core guarantee:
+// because results land in pre-indexed slots and aggregation follows
+// submission order, every printed table is byte-identical whether the jobs
+// ran on one worker (the sequential path) or raced across eight.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	p := tinyProfile()
+	p.Seeds = []int64{1, 2}
+	render := func(ctx context.Context) string {
+		var b strings.Builder
+		tab1, _, err := Fig51(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab6, _, err := Fig56(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(tab1.String())
+		b.WriteString(tab6.String())
+		return b.String()
+	}
+	sequential := render(poolCtx(t, 1))
+	parallel := render(poolCtx(t, 8))
+	if sequential != parallel {
+		t.Errorf("parallel tables differ from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", sequential, parallel)
+	}
+	if noPool := render(context.Background()); noPool != sequential {
+		t.Errorf("transient-pool tables differ from sequential:\n--- sequential ---\n%s\n--- transient ---\n%s", sequential, noPool)
+	}
+}
+
+func TestRunJobsAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(poolCtx(t, 2))
+	cancel()
+	p := tinyProfile()
+	if _, err := RunAveraged(ctx, p.baseSpec(core.SchemeChitChat), p.Seeds); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunJobsMidRunCancellation(t *testing.T) {
+	p := tinyProfile()
+	p.Duration = 200 * time.Hour // far longer than the test may run
+	p.Seeds = []int64{1, 2, 3, 4}
+	ctx, cancel := context.WithCancel(poolCtx(t, 2))
+	time.AfterFunc(20*time.Millisecond, cancel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunAveraged(ctx, p.baseSpec(core.SchemeChitChat), p.Seeds)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+}
+
+// TestRunJobsPropagatesJobError checks that one failing job surfaces its
+// error and cancels the group instead of hanging or averaging garbage.
+func TestRunJobsPropagatesJobError(t *testing.T) {
+	p := tinyProfile()
+	spec := p.baseSpec(core.SchemeChitChat)
+	spec.Nodes = 0 // fails scenario validation inside the job
+	if _, err := RunAveraged(poolCtx(t, 2), spec, []int64{1, 2, 3}); err == nil {
+		t.Error("invalid spec must fail the sweep")
+	}
+}
+
+// TestNestedSubmissionDoesNotDeadlock exercises the work-stealing wait: a
+// job running on the pool's only worker submits a sub-batch and waits for
+// it; the waiting worker must steal and run the sub-jobs itself.
+func TestNestedSubmissionDoesNotDeadlock(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	outer := pool.newGroup(context.Background())
+	ran := make([]bool, 4)
+	outer.submit(0, func(ctx context.Context) error {
+		inner := pool.newGroup(ctx)
+		for i := range ran {
+			inner.submit(0, func(context.Context) error {
+				ran[i] = true
+				return nil
+			})
+		}
+		return inner.wait()
+	})
+	done := make(chan error, 1)
+	go func() { done <- outer.wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested submission deadlocked a single-worker pool")
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Errorf("nested job %d never ran", i)
+		}
+	}
+}
+
+func TestProgressCounters(t *testing.T) {
+	pr := NewProgress()
+	pool := NewPool(2)
+	defer pool.Close()
+	pool.SetProgress(pr)
+	g := pool.newGroup(context.Background())
+	for i := 0; i < 5; i++ {
+		g.submit(3600, func(context.Context) error { return nil })
+	}
+	if err := g.wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := pr.Snapshot()
+	if s.Total != 5 || s.Done != 5 {
+		t.Errorf("snapshot = %d/%d, want 5/5", s.Done, s.Total)
+	}
+	if s.SimSeconds != 5*3600 {
+		t.Errorf("sim seconds = %v, want %v", s.SimSeconds, 5*3600)
+	}
+	if s.Throughput() <= 0 {
+		t.Errorf("throughput = %v, want > 0", s.Throughput())
+	}
+	line := s.String()
+	if !strings.Contains(line, "jobs 5/5") || !strings.Contains(line, "sim-s/wall-s") {
+		t.Errorf("status line = %q", line)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	s := Snapshot{Total: 10, Done: 5, Elapsed: 10 * time.Second}
+	eta, ok := s.ETA()
+	if !ok || eta != 10*time.Second {
+		t.Errorf("ETA = %v, %v; want 10s at the observed rate", eta, ok)
+	}
+	if _, ok := (Snapshot{Total: 10}).ETA(); ok {
+		t.Error("ETA must not be available before the first completion")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"dtnsim/internal/core"
-	"dtnsim/internal/scenario"
 )
 
 // SensitivityKnob names a design parameter the sensitivity analysis sweeps.
@@ -79,17 +78,32 @@ type SensitivityPoint struct {
 // mechanism is active) and reports MDR, traffic, and token refusals per
 // setting.
 func Sensitivity(ctx context.Context, p Profile) (Table, []SensitivityPoint, error) {
+	knobs := SensitivityKnobs()
+	var jobs []runJob
+	for _, knob := range knobs {
+		for _, v := range knob.Values {
+			spec := p.baseSpec(core.SchemeIncentive)
+			spec.SelfishPercent = 20
+			spec.MaliciousPercent = 10
+			tweak := func(cfg *core.Config) { knob.Apply(cfg, v) }
+			jobs = append(jobs, seedJobs(spec, p.Seeds, tweak)...)
+		}
+	}
+	results, err := runJobs(ctx, jobs)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	avgs := avgSlots(results, len(p.Seeds))
 	var points []SensitivityPoint
 	t := Table{
 		Title:   fmt.Sprintf("Sensitivity — one-at-a-time design-parameter sweep (%s profile)", p.Name),
 		Columns: []string{"knob", "value", "MDR", "±std", "relay", "refused(tokens)"},
 	}
-	for _, knob := range SensitivityKnobs() {
+	slot := 0
+	for _, knob := range knobs {
 		for _, v := range knob.Values {
-			avg, err := runSensitivityPoint(ctx, p, knob, v)
-			if err != nil {
-				return Table{}, nil, fmt.Errorf("knob %s=%v: %w", knob.Name, v, err)
-			}
+			avg := avgs[slot]
+			slot++
 			points = append(points, SensitivityPoint{Knob: knob.Name, Value: v, Avg: avg})
 			t.Rows = append(t.Rows, []string{
 				knob.Name,
@@ -102,30 +116,4 @@ func Sensitivity(ctx context.Context, p Profile) (Table, []SensitivityPoint, err
 		}
 	}
 	return t, points, nil
-}
-
-func runSensitivityPoint(ctx context.Context, p Profile, knob SensitivityKnob, v float64) (Avg, error) {
-	var avg Avg
-	for _, seed := range p.Seeds {
-		spec := p.baseSpec(core.SchemeIncentive)
-		spec.SelfishPercent = 20
-		spec.MaliciousPercent = 10
-		spec.Seed = seed
-		cfg, specs, err := scenario.Build(spec)
-		if err != nil {
-			return Avg{}, err
-		}
-		knob.Apply(&cfg, v)
-		eng, err := core.NewEngine(cfg, specs)
-		if err != nil {
-			return Avg{}, err
-		}
-		res, err := eng.Run(ctx)
-		if err != nil {
-			return Avg{}, err
-		}
-		avg.accumulate(res)
-	}
-	avg.finish()
-	return avg, nil
 }
