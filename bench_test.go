@@ -13,8 +13,10 @@ package dtnsim_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/experiment"
@@ -290,6 +292,45 @@ func BenchmarkSweepSchedulerSingleWorker(b *testing.B) {
 		if _, err := experiment.SelfishSweep(ctx, benchProfile(), []int{0, 40, 80}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineScale measures raw kernel throughput at and beyond paper
+// scale: 500 and 2000 nodes at the paper's 100 nodes/km² density, with TTL
+// expiry and rating sampling switched on so every periodic subsystem is in
+// the loop. Each iteration retires one simulated second, so the headline
+// ns/op reads directly as nanoseconds per simulated second — the tick→event
+// speedup trajectory is tracked in DESIGN.md ("Simulation kernel").
+func BenchmarkEngineScale(b *testing.B) {
+	for _, nodes := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			spec := scenario.Default(core.SchemeIncentive)
+			spec.Nodes = nodes
+			spec.AreaKm2 = float64(nodes) / 100
+			spec.Duration = 24 * time.Hour // never reached; steps driven manually
+			spec.SelfishPercent = 20
+			spec.MaliciousPercent = 10
+			spec.MeanMessageInterval = 30 * time.Minute
+			cfg, pop, err := scenario.Build(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.MessageTTL = 30 * time.Minute
+			eng, err := core.NewEngine(cfg, pop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up: populate buffers, contacts, and the periodic schedule.
+			if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunFor(context.Background(), time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

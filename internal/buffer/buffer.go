@@ -41,6 +41,80 @@ type Store struct {
 	byID     map[ident.MessageID]*message.Message
 	order    []*message.Message // insertion order, for deterministic iteration
 	dropped  int                // messages evicted before delivery
+
+	// expiry is a deadline-ordered index over TTL-carrying residents, so
+	// NextExpiry and ExpireAt cost O(log n) instead of a full-buffer scan.
+	// Entries are invalidated lazily: a removed message's entry is skipped
+	// when it surfaces at the head.
+	expiry    expiryHeap
+	expirySeq uint64
+}
+
+// expiryEntry is one (deadline, message) pair in the expiry index. seq makes
+// same-deadline expiry follow insertion order, keeping removal deterministic.
+type expiryEntry struct {
+	at  time.Duration
+	seq uint64
+	id  ident.MessageID
+}
+
+// expiryHeap is a hand-rolled binary min-heap; container/heap would box an
+// entry on every Push/Pop, and inserts are per-message. Entries carry unique
+// (at, seq) keys, so pop order is fully determined by less.
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h expiryHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h expiryHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pushExpiry adds one entry to the deadline index.
+func (s *Store) pushExpiry(e expiryEntry) {
+	s.expiry = append(s.expiry, e)
+	s.expiry.up(len(s.expiry) - 1)
+}
+
+// popExpiry removes the earliest entry from the deadline index.
+func (s *Store) popExpiry() {
+	h := s.expiry
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	s.expiry = h[:n]
+	if n > 0 {
+		s.expiry.down(0)
+	}
 }
 
 // New creates a store with the given byte capacity and eviction policy. A
@@ -107,6 +181,10 @@ func (s *Store) Add(m *message.Message) error {
 	s.byID[m.ID] = m
 	s.order = append(s.order, m)
 	s.used += m.Size
+	if m.TTL > 0 {
+		s.expirySeq++
+		s.pushExpiry(expiryEntry{at: m.CreatedAt + m.TTL, seq: s.expirySeq, id: m.ID})
+	}
 	return nil
 }
 
@@ -138,19 +216,48 @@ func (s *Store) Messages() []*message.Message {
 	return s.order
 }
 
-// ExpireAt removes all messages whose TTL has lapsed at virtual time now and
-// returns how many were removed.
-func (s *Store) ExpireAt(now time.Duration) int {
-	var expired []ident.MessageID
-	for _, m := range s.order {
-		if m.Expired(now) {
-			expired = append(expired, m.ID)
+// staleHead reports whether the expiry index's head entry no longer matches
+// a resident message (removed, or replaced under the same ID with a
+// different deadline) and should be discarded.
+func (s *Store) staleHead() bool {
+	head := s.expiry[0]
+	m, ok := s.byID[head.id]
+	return !ok || m.TTL <= 0 || m.CreatedAt+m.TTL != head.at
+}
+
+// NextExpiry returns the earliest TTL deadline among resident messages; ok
+// is false when no resident message carries a TTL. Stale index entries are
+// discarded on the way, so the cost is amortised O(log n).
+func (s *Store) NextExpiry() (at time.Duration, ok bool) {
+	for len(s.expiry) > 0 {
+		if s.staleHead() {
+			s.popExpiry()
+			continue
 		}
+		return s.expiry[0].at, true
 	}
-	for _, id := range expired {
-		s.remove(id)
+	return 0, false
+}
+
+// ExpireAt removes all messages whose TTL has lapsed at virtual time now and
+// returns how many were removed. Only lapsed messages are visited: the
+// deadline index replaces the historical full-buffer scan.
+func (s *Store) ExpireAt(now time.Duration) int {
+	expired := 0
+	for len(s.expiry) > 0 {
+		if s.staleHead() {
+			s.popExpiry()
+			continue
+		}
+		head := s.expiry[0]
+		if !s.byID[head.id].Expired(now) {
+			break
+		}
+		s.popExpiry()
+		s.remove(head.id)
+		expired++
 	}
-	return len(expired)
+	return expired
 }
 
 // DropOldest evicts the earliest-created messages first (the ONE simulator's

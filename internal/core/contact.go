@@ -5,6 +5,7 @@ import (
 
 	"dtnsim/internal/message"
 	"dtnsim/internal/routing"
+	"dtnsim/internal/sim"
 	"dtnsim/internal/world"
 )
 
@@ -12,15 +13,26 @@ import (
 // both radios are on (selfish nodes mostly keep theirs off); closed
 // contacts exist solely so the radio coin is flipped once per encounter
 // rather than once per tick.
+//
+// Periodic per-contact work (the RTSR exchange round, reputation gossip) is
+// event-scheduled on the engine's agenda: contact-up schedules the events,
+// contact-down cancels them, and a due event marks the flag consumed by the
+// next tick's contact pass — the tick touches only contacts with something
+// to do instead of re-deriving dueness from timestamps every step.
 type contact struct {
-	pair         world.Pair
-	a, b         *Node
-	open         bool
-	dead         bool
-	seen         uint64
-	startedAt    time.Duration
-	lastExchange time.Duration
-	lastGossip   time.Duration
+	pair      world.Pair
+	a, b      *Node
+	open      bool
+	dead      bool
+	seen      uint64
+	startedAt time.Duration
+	// exchangedAt is when the last RTSR round ran, feeding the T_c − T_v
+	// growth accounting of the next round (interest.Params.GrowthRate).
+	exchangedAt time.Duration
+	exchangeEv  *sim.Handle
+	gossipEv    *sim.Handle
+	exchangeDue bool
+	gossipDue   bool
 	// queue[queueHead:] are the pending transfers. Dequeuing advances
 	// queueHead instead of reslicing from the front, so a long-lived
 	// contact releases its consumed prefix (see pop) rather than pinning
@@ -29,6 +41,13 @@ type contact struct {
 	queueHead int
 	active    *transfer
 }
+
+// markExchangeDue and markGossipDue are the agenda callbacks: a due event
+// only raises a flag; the tick's contact pass consumes it in deterministic
+// contact-creation order.
+func (c *contact) markExchangeDue(time.Duration) { c.exchangeDue = true }
+
+func (c *contact) markGossipDue(time.Duration) { c.gossipDue = true }
 
 // pending returns the not-yet-started transfers in negotiation order.
 func (c *contact) pending() []*transfer { return c.queue[c.queueHead:] }

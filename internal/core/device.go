@@ -62,6 +62,7 @@ func (d *Device) Annotate(trueKeywords, labels []string, size int64, prio messag
 	if err := d.node.buf.Add(m); err != nil {
 		return nil, err
 	}
+	d.engine.armExpiry(d.node)
 	d.engine.collector.MessageCreated(m)
 	d.engine.record(report.Event{At: now, Kind: report.MessageCreated, A: d.node.id, Msg: m.ID})
 	return m, nil

@@ -39,14 +39,22 @@ type Engine struct {
 	contactList []*contact // creation order; the deterministic iteration set
 	peersOf     map[ident.NodeID][]*contact
 	pairScratch []world.Pair
+	downScratch map[world.Pair]bool
+	peerTabA    []*interest.Table
+	peerTabB    []*interest.Table
 	tickNo      uint64
+
+	// agenda schedules per-contact periodic work (exchange and gossip
+	// rounds). It is drained at the head of each tick's contact pass — not
+	// on the runner's event lanes — because a due round must still observe
+	// this tick's movement and contact churn, and must be preempted by a
+	// same-tick teardown, exactly as the historical per-contact polling was.
+	agenda *sim.EventQueue
 
 	honest    []ident.NodeID
 	malicious []ident.NodeID
 
 	workloadRNG *sim.RNG
-	nextSample  time.Duration
-	nextExpiry  time.Duration
 
 	traceCursor *trace.Cursor
 }
@@ -103,8 +111,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		interner:    interest.NewInterner(),
 		contacts:    make(map[world.Pair]*contact),
 		peersOf:     make(map[ident.NodeID][]*contact),
-		nextSample:  cfg.RatingSampleInterval,
-		nextExpiry:  expiryInterval,
+		agenda:      sim.NewEventQueue(),
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
 	}
 	if s, ok := router.(*routing.SprayAndWait); ok {
@@ -145,7 +152,47 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 	}
 	e.runner.AddTicker(sim.TickerFunc(e.tick))
 	e.scheduleWorkload()
+	if cfg.RatingSampleInterval > 0 {
+		e.scheduleSample(cfg.RatingSampleInterval)
+	}
 	return e, nil
+}
+
+// scheduleSample arms the Figure 5.4 sampler as an observer event: it fires
+// after the tickers of the step that reaches the deadline, so the sample
+// sees that step's completed state, stamped with the deadline itself (the
+// firing step may land later when the step doesn't divide the interval).
+func (e *Engine) scheduleSample(due time.Duration) {
+	e.runner.SchedulePost(due, func(at time.Duration) {
+		e.sampleMaliciousRating(at)
+		e.scheduleSample(nextDeadline(at, e.cfg.RatingSampleInterval, e.runner.Clock().Now()))
+	})
+}
+
+// armExpiry keeps n's TTL event aligned with its buffer's earliest message
+// deadline; call it after any insert into the buffer and after each firing.
+// Expiry is exact-deadline now: the event lands on the first instant past
+// the deadline (Message.Expired is strict) instead of a coarse periodic
+// sweep over every buffer. A node holding no TTL-carrying messages has no
+// event at all.
+func (e *Engine) armExpiry(n *Node) {
+	at, ok := n.buf.NextExpiry()
+	if !ok {
+		if n.expiryEv != nil {
+			n.expiryEv.Cancel()
+		}
+		return
+	}
+	at++ // first instant strictly past the deadline
+	switch {
+	case n.expiryEv == nil:
+		n.expiryEv = e.runner.Schedule(at, func(time.Duration) {
+			n.buf.ExpireAt(e.runner.Clock().Now())
+			e.armExpiry(n)
+		})
+	case !n.expiryEv.Active() || n.expiryEv.At() != at:
+		n.expiryEv.Reschedule(at)
+	}
 }
 
 // defaultTagger picks an enrichment behaviour matching the node's
@@ -204,18 +251,12 @@ func (e *Engine) Run(ctx context.Context) (Result, error) {
 }
 
 // RunFor advances the simulation by d without producing a final result;
-// examples use it to interleave narration with simulation.
+// examples use it to interleave narration with simulation. It funnels
+// through the runner's single stepping loop, so cancellation and step
+// accounting behave identically to Run.
 func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
-	target := e.runner.Clock().Now() + d
-	for e.runner.Clock().Now() < target {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		default:
-		}
-		e.runner.RunSteps(1)
-	}
-	return nil
+	_, err := e.runner.RunUntil(ctx, e.runner.Clock().Now()+d)
+	return err
 }
 
 // Result summarises the run so far.
@@ -258,8 +299,11 @@ func (e *Engine) result() Result {
 	return r
 }
 
-// tick is the per-step pipeline: move, detect contacts, exchange/route on
-// schedule, progress transfers, and run the periodic samplers.
+// tick is the per-step pipeline: move, detect contacts, then run the
+// contact pass (due exchange/gossip rounds and transfer progression).
+// Everything else that used to be polled here — workload injection, TTL
+// expiry, rating sampling — is event-scheduled on the runner: injections
+// and expiries fire before the tick, the sampler observes after it.
 func (e *Engine) tick(now time.Duration) {
 	e.tickNo++
 	if e.traceCursor == nil {
@@ -268,24 +312,7 @@ func (e *Engine) tick(now time.Duration) {
 	}
 	e.updateContacts(now)
 	e.progressContacts(now)
-	if e.cfg.RatingSampleInterval > 0 && now >= e.nextSample {
-		// Stamp the sample with the due time, not the (possibly late)
-		// firing tick: when the step doesn't divide the interval the tick
-		// lands after the deadline, and stamping/rescheduling from it would
-		// drift the whole series later by up to one step per sample.
-		e.sampleMaliciousRating(e.nextSample)
-		e.nextSample = nextDeadline(e.nextSample, e.cfg.RatingSampleInterval, now)
-	}
-	if e.cfg.MessageTTL > 0 && now >= e.nextExpiry {
-		for _, n := range e.nodes {
-			n.buf.ExpireAt(now)
-		}
-		e.nextExpiry = nextDeadline(e.nextExpiry, expiryInterval, now)
-	}
 }
-
-// expiryInterval is how often buffers are scanned for TTL-expired messages.
-const expiryInterval = time.Minute
 
 // nextDeadline advances a periodic deadline by whole intervals until it
 // lands after now, keeping the schedule on the interval grid however late
@@ -335,9 +362,31 @@ func (e *Engine) updateContacts(now time.Duration) {
 }
 
 // updateTraceContacts advances the replay cursor and mirrors its up/down
-// transitions onto the live contact set.
+// transitions onto the live contact set. Teardowns run before raises: over
+// a coarse step a churny trace can end one encounter of a pair and begin
+// another within the same advance window, and the new encounter must start
+// fresh (radio coin reflipped, exchange schedule restarted) instead of
+// being swallowed by the dying one.
 func (e *Engine) updateTraceContacts(now time.Duration) {
 	up, down := e.traceCursor.AdvanceTo(now)
+	if len(down) > 0 {
+		if e.downScratch == nil {
+			e.downScratch = make(map[world.Pair]bool, len(down))
+		}
+		clear(e.downScratch)
+		for _, ct := range down {
+			e.downScratch[world.Pair{Lo: ct.A, Hi: ct.B}] = true
+		}
+		live := e.contactList[:0]
+		for _, c := range e.contactList {
+			if e.downScratch[c.pair] {
+				e.contactDown(c)
+				continue
+			}
+			live = append(live, c)
+		}
+		e.contactList = live
+	}
 	for _, ct := range up {
 		p := world.Pair{Lo: ct.A, Hi: ct.B}
 		if c, ok := e.contacts[p]; ok {
@@ -346,25 +395,11 @@ func (e *Engine) updateTraceContacts(now time.Duration) {
 		}
 		e.contactUp(p, now)
 	}
-	downSet := make(map[world.Pair]bool, len(down))
-	for _, ct := range down {
-		downSet[world.Pair{Lo: ct.A, Hi: ct.B}] = true
-	}
-	live := e.contactList[:0]
-	for _, c := range e.contactList {
-		if downSet[c.pair] {
-			e.contactDown(c)
-			continue
-		}
-		c.seen = e.tickNo
-		live = append(live, c)
-	}
-	e.contactList = live
 }
 
 func (e *Engine) contactUp(p world.Pair, now time.Duration) {
 	a, b := e.nodes[p.Lo], e.nodes[p.Hi]
-	c := &contact{pair: p, a: a, b: b, seen: e.tickNo, startedAt: now, lastExchange: now, lastGossip: now}
+	c := &contact{pair: p, a: a, b: b, seen: e.tickNo, startedAt: now, exchangedAt: now}
 	// The selfish model: "a selfish node has its communication medium open
 	// one out of ten times when it encounters another node". A node whose
 	// radio energy budget is exhausted cannot open at all.
@@ -390,11 +425,24 @@ func (e *Engine) contactUp(p world.Pair, now time.Duration) {
 	}
 	e.record(report.Event{At: now, Kind: report.ContactUp, A: a.id, B: b.id})
 	e.runExchange(c, now, e.runner.Clock().Step())
+	// Open contacts get their periodic rounds on the agenda; teardown
+	// cancels them. Closed contacts never exchange, so they get no events.
+	c.exchangeEv = e.agenda.ScheduleAt(now+e.cfg.ExchangeInterval, c.markExchangeDue)
+	if e.cfg.reputationActive() && e.cfg.GossipInterval > 0 {
+		c.gossipEv = e.agenda.ScheduleAt(now+e.cfg.GossipInterval, c.markGossipDue)
+	}
 }
 
 func (e *Engine) contactDown(c *contact) {
 	delete(e.contacts, c.pair)
 	c.dead = true
+	if c.exchangeEv != nil {
+		c.exchangeEv.Cancel()
+	}
+	if c.gossipEv != nil {
+		c.gossipEv.Cancel()
+	}
+	c.exchangeDue, c.gossipDue = false, false
 	if !c.open {
 		return
 	}
@@ -434,20 +482,32 @@ func removeContact(list []*contact, c *contact) []*contact {
 	return list
 }
 
-// progressContacts advances transfers and re-runs the RTSR exchange and
-// routing round on the configured interval.
+// progressContacts runs the contact pass: it drains the agenda (due
+// exchange/gossip events raise flags), then walks the live contacts in
+// creation order consuming those flags and advancing transfers. Draining
+// here — after this tick's churn — means a same-tick teardown preempts a
+// due round (the cancel wins), and flags are consumed in the same
+// deterministic order the old per-contact poll used.
 func (e *Engine) progressContacts(now time.Duration) {
+	e.agenda.RunDue(now)
 	for _, c := range e.contactList {
 		if !c.open || c.dead {
 			continue
 		}
-		if now-c.lastExchange >= e.cfg.ExchangeInterval {
-			e.runExchange(c, now, now-c.lastExchange)
+		if c.exchangeDue {
+			c.exchangeDue = false
+			e.runExchange(c, now, now-c.exchangedAt)
+			// Reschedule from the tick that ran the round, not the event's
+			// nominal time: the historical poll reset its timestamp to the
+			// tick, so a step that doesn't divide the interval drifts the
+			// same way here.
+			c.exchangeEv.Reschedule(now + e.cfg.ExchangeInterval)
 		}
-		if e.cfg.reputationActive() && e.cfg.GossipInterval > 0 && now-c.lastGossip >= e.cfg.GossipInterval {
-			c.lastGossip = now
+		if c.gossipDue {
+			c.gossipDue = false
 			e.gossipReputation(c.a, c.b)
 			e.gossipReputation(c.b, c.a)
+			c.gossipEv.Reschedule(now + e.cfg.GossipInterval)
 		}
 		e.progressTransfer(c, now)
 	}

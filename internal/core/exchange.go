@@ -17,15 +17,17 @@ import (
 // grown is the contact age accounted this round (T_c − T_v accrues
 // incrementally across periodic exchanges, see interest.Params.GrowthRate).
 func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
-	c.lastExchange = now
+	c.exchangedAt = now
 
 	// Decay → exchange → growth, fused into the allocation-light pairwise
 	// form (interest.ExchangeGrow preserves the phase ordering). Decay
 	// needs each side's full connected-peer set: an interest shared by any
 	// live neighbour holds its weight (Algorithm 1).
+	e.peerTabA = e.peerTables(e.peerTabA[:0], c.a)
+	e.peerTabB = e.peerTables(e.peerTabB[:0], c.b)
 	interest.ExchangeGrow(
 		c.a.table, c.b.table, c.a.id, c.b.id,
-		e.peerTables(c.a), e.peerTables(c.b),
+		e.peerTabA, e.peerTabB,
 		now, grown,
 	)
 
@@ -48,14 +50,13 @@ func sortOffersFIFO(offers []routing.Offer) {
 	})
 }
 
-// peerTables collects the interest tables of all of n's open contacts.
-func (e *Engine) peerTables(n *Node) []*interest.Table {
-	contacts := e.peersOf[n.id]
-	tables := make([]*interest.Table, 0, len(contacts))
-	for _, c := range contacts {
-		tables = append(tables, c.other(n).table)
+// peerTables appends the interest tables of all of n's open contacts to dst
+// (pass an engine scratch slice; one exchange round runs at a time).
+func (e *Engine) peerTables(dst []*interest.Table, n *Node) []*interest.Table {
+	for _, c := range e.peersOf[n.id] {
+		dst = append(dst, c.other(n).table)
 	}
-	return tables
+	return dst
 }
 
 // routeDirection runs the routing module for u→v and enqueues the

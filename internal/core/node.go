@@ -52,6 +52,10 @@ type Node struct {
 	msgSeq  int
 	class   MessageClass
 	killed  bool
+	// expiryEv is the node's pending TTL-expiry event, kept aligned with the
+	// buffer's earliest deadline by Engine.armExpiry. Nil until the first
+	// TTL-carrying message lands in the buffer.
+	expiryEv *sim.Handle
 }
 
 var _ routing.NodeView = (*Node)(nil)

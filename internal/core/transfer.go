@@ -107,6 +107,7 @@ func (e *Engine) completeTransfer(c *contact, t *transfer, now time.Duration) {
 		// message larger than the whole buffer: the handover evaporates.
 		return
 	}
+	e.armExpiry(v)
 	e.collector.Transferred(true)
 	e.record(report.Event{At: now, Kind: report.Relayed, A: u.id, B: v.id, Msg: m.ID})
 
@@ -155,6 +156,7 @@ func (e *Engine) settleDelivery(t *transfer, now time.Duration) {
 			return
 		}
 	}
+	e.armExpiry(v)
 	e.collector.Transferred(false)
 	e.collector.Delivered(clone, v.id, now)
 	e.record(report.Event{At: now, Kind: report.Delivered, A: u.id, B: v.id, Msg: m.ID})

@@ -165,6 +165,7 @@ func (e *Engine) originate(n *Node, now time.Duration) {
 	if err := n.buf.Add(m); err != nil {
 		return
 	}
+	e.armExpiry(n)
 	e.collector.MessageCreated(m)
 	e.record(report.Event{At: now, Kind: report.MessageCreated, A: n.id, Msg: m.ID})
 }

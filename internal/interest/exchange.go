@@ -21,7 +21,7 @@ import (
 // exchange partner — a transient interest learned from one neighbour must
 // not decay while that neighbour is still attached.
 func (t *Table) DecayAgainst(now time.Duration, peers ...*Table) {
-	var prune []int32
+	prune := t.pruneScratch[:0]
 	for _, id := range t.active {
 		e := t.rows[id]
 		shared := false
@@ -42,6 +42,7 @@ func (t *Table) DecayAgainst(now time.Duration, peers ...*Table) {
 	for _, id := range prune {
 		t.remove(id)
 	}
+	t.pruneScratch = prune
 }
 
 // ExchangeGrow runs the pairwise RTSR exchange for a contact that has
@@ -75,19 +76,22 @@ func ExchangeGrow(a, b *Table, aID, bID ident.NodeID, aPeers, bPeers []*Table, n
 // growthDeltas computes Δ for every local keyword from the peer's current
 // weights, indexed parallel to t.active. A negative sentinel marks keywords
 // the peer does not share.
+// The returned slice is the table's reusable scratch; it is valid until the
+// table's next growthDeltas call.
 func (t *Table) growthDeltas(peer *Table, dt time.Duration) []float64 {
-	deltas := make([]float64, len(t.active))
+	deltas := t.deltaScratch[:0]
 	seconds := dt.Seconds()
-	for i, id := range t.active {
+	for _, id := range t.active {
 		pe := peer.row(id)
 		if pe == nil {
-			deltas[i] = -1
+			deltas = append(deltas, -1)
 			continue
 		}
 		e := t.rows[id]
 		psi := psiCase(e.Direct, pe.Direct)
-		deltas[i] = pe.Weight * t.params.GrowthRate * seconds / float64(psi)
+		deltas = append(deltas, pe.Weight*t.params.GrowthRate*seconds/float64(psi))
 	}
+	t.deltaScratch = deltas
 	return deltas
 }
 
@@ -107,14 +111,16 @@ func (t *Table) applyDeltas(deltas []float64, now time.Duration) {
 	}
 }
 
-// unknownTo returns the IDs t holds that other lacks.
+// unknownTo returns the IDs t holds that other lacks. The returned slice is
+// t's reusable scratch, valid until t's next unknownTo call.
 func (t *Table) unknownTo(other *Table) []int32 {
-	var out []int32
+	out := t.unknownScratch[:0]
 	for _, id := range t.active {
 		if other.row(id) == nil {
 			out = append(out, id)
 		}
 	}
+	t.unknownScratch = out
 	return out
 }
 
@@ -132,11 +138,10 @@ func (t *Table) acquireGrown(peer *Table, ids []int32, from ident.NodeID, now ti
 		if w > MaxWeight {
 			w = MaxWeight
 		}
-		t.insert(id, &Entry{
-			Weight:       w,
-			Direct:       false,
-			LastShared:   now,
-			AcquiredFrom: from,
-		})
+		e := t.takeEntry()
+		e.Weight = w
+		e.LastShared = now
+		e.AcquiredFrom = from
+		t.insert(id, e)
 	}
 }

@@ -83,6 +83,17 @@ type Table struct {
 	in     *Interner
 	rows   []*Entry // indexed by keyword ID; nil = absent
 	active []int32  // IDs with live entries, ascending
+
+	// free recycles pruned row entries: transient-interest churn
+	// (acquire → decay → prune, once per exchange round) made Entry the
+	// hottest allocation in the engine's profile. Tables are
+	// single-goroutine, like the engine that owns them.
+	free []*Entry
+	// deltaScratch, pruneScratch, and unknownScratch back the exchange
+	// round's temporary slices for the same reason.
+	deltaScratch   []float64
+	pruneScratch   []int32
+	unknownScratch []int32
 }
 
 // NewTable creates an empty table sharing the given interner. Every table
@@ -118,10 +129,23 @@ func (t *Table) insert(id int32, e *Entry) {
 	t.active[i] = id
 }
 
+// takeEntry returns a zeroed Entry, recycling pruned rows when possible.
+func (t *Table) takeEntry() *Entry {
+	if n := len(t.free); n > 0 {
+		e := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		*e = Entry{}
+		return e
+	}
+	return &Entry{}
+}
+
 func (t *Table) remove(id int32) {
 	if int(id) >= len(t.rows) || t.rows[id] == nil {
 		return
 	}
+	t.free = append(t.free, t.rows[id])
 	t.rows[id] = nil
 	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
 	if i < len(t.active) && t.active[i] == id {
@@ -142,12 +166,12 @@ func (t *Table) DeclareDirect(kw string, now time.Duration) {
 		}
 		return
 	}
-	t.insert(id, &Entry{
-		Weight:       InitialWeight,
-		Direct:       true,
-		LastShared:   now,
-		AcquiredFrom: ident.Nobody,
-	})
+	e := t.takeEntry()
+	e.Weight = InitialWeight
+	e.Direct = true
+	e.LastShared = now
+	e.AcquiredFrom = ident.Nobody
+	t.insert(id, e)
 }
 
 // Acquire records a transient interest learned from a peer, starting at
@@ -157,12 +181,10 @@ func (t *Table) Acquire(kw string, from ident.NodeID, now time.Duration) {
 	if t.row(id) != nil {
 		return
 	}
-	t.insert(id, &Entry{
-		Weight:       0,
-		Direct:       false,
-		LastShared:   now,
-		AcquiredFrom: from,
-	})
+	e := t.takeEntry()
+	e.LastShared = now
+	e.AcquiredFrom = from
+	t.insert(id, e)
 }
 
 // Len returns the number of interests (direct + transient).

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -11,48 +10,107 @@ import (
 // care should read the clock.
 type Event func(at time.Duration)
 
-type scheduledEvent struct {
-	at   time.Duration
-	seq  uint64 // tie-break: FIFO among events at the same instant
+// Handle identifies one scheduled event and supports cancellation and
+// rescheduling. Handles use lazy invalidation: Cancel and Reschedule bump a
+// generation counter and stale heap entries are discarded when they surface,
+// so both operations are O(1) (plus one amortised heap push for Reschedule).
+type Handle struct {
+	q    *EventQueue
 	fire Event
+	at   time.Duration
+	gen  uint64 // generation of the live heap entry; bumped to invalidate
+	live bool
 }
 
+// Active reports whether the event is still pending (not yet fired and not
+// cancelled).
+func (h *Handle) Active() bool { return h.live }
+
+// At returns the time the event is (or was last) scheduled to fire.
+func (h *Handle) At() time.Duration { return h.at }
+
+// Cancel withdraws a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *Handle) Cancel() {
+	if !h.live {
+		return
+	}
+	h.live = false
+	h.gen++
+	h.q.live--
+}
+
+// Reschedule moves the event to a new fire time, reviving it if it has
+// already fired or been cancelled. The event keeps its callback but counts
+// as freshly scheduled for same-instant FIFO ordering.
+func (h *Handle) Reschedule(at time.Duration) {
+	h.gen++
+	if h.live {
+		h.q.live--
+	}
+	h.at = at
+	h.live = true
+	h.q.push(h)
+}
+
+type scheduledEvent struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among events at the same instant
+	gen uint64 // must match the handle's generation or the entry is stale
+	h   *Handle
+}
+
+// eventHeap is a hand-rolled binary min-heap. container/heap would box every
+// entry into an interface on each Push/Pop — one allocation per schedule,
+// reschedule, and fire — which showed up as GC pressure at scale. Entries
+// have unique (at, seq) keys, so pop order is fully determined by less
+// regardless of sift implementation.
 type eventHeap []scheduledEvent
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(scheduledEvent)
-	if !ok {
-		// heap.Push is only ever called by EventQueue with the right type;
-		// reaching this is a programming error inside this package.
-		panic("sim: eventHeap.Push called with non-event value")
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	*h = append(*h, ev)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // EventQueue is a time-ordered queue of scheduled callbacks. Events at equal
-// times fire in scheduling order, which keeps runs deterministic.
+// times fire in scheduling order (rescheduling counts as a fresh schedule),
+// which keeps runs deterministic.
 type EventQueue struct {
-	h   eventHeap
-	seq uint64
+	h    eventHeap
+	seq  uint64
+	live int
 }
 
 // NewEventQueue returns an empty queue.
@@ -60,22 +118,53 @@ func NewEventQueue() *EventQueue {
 	return &EventQueue{}
 }
 
-// ScheduleAt enqueues fire to run at the absolute virtual time at.
-func (q *EventQueue) ScheduleAt(at time.Duration, fire Event) {
-	q.seq++
-	heap.Push(&q.h, scheduledEvent{at: at, seq: q.seq, fire: fire})
+// ScheduleAt enqueues fire to run at the absolute virtual time at and
+// returns a handle for cancellation or rescheduling.
+func (q *EventQueue) ScheduleAt(at time.Duration, fire Event) *Handle {
+	h := &Handle{q: q, fire: fire, at: at, live: true}
+	q.push(h)
+	return h
 }
 
-// Len returns the number of pending events.
-func (q *EventQueue) Len() int { return len(q.h) }
+// push appends a heap entry for the handle's current (at, gen) state.
+func (q *EventQueue) push(h *Handle) {
+	q.seq++
+	q.live++
+	q.h = append(q.h, scheduledEvent{at: h.at, seq: q.seq, gen: h.gen, h: h})
+	q.h.up(len(q.h) - 1)
+}
+
+// pop removes and returns the earliest heap entry. The vacated array slot is
+// zeroed so the entry's handle can be collected.
+func (q *EventQueue) pop() scheduledEvent {
+	h := q.h
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	ev := h[n]
+	h[n] = scheduledEvent{}
+	q.h = h[:n]
+	if n > 0 {
+		q.h.down(0)
+	}
+	return ev
+}
+
+// Len returns the number of pending (live) events.
+func (q *EventQueue) Len() int { return q.live }
 
 // NextAt returns the fire time of the earliest pending event; ok is false
-// when the queue is empty.
+// when the queue is empty. Stale entries left behind by Cancel/Reschedule
+// are discarded on the way.
 func (q *EventQueue) NextAt() (at time.Duration, ok bool) {
-	if len(q.h) == 0 {
-		return 0, false
+	for len(q.h) > 0 {
+		head := q.h[0]
+		if head.gen != head.h.gen || !head.h.live {
+			q.pop()
+			continue
+		}
+		return head.at, true
 	}
-	return q.h[0].at, true
+	return 0, false
 }
 
 // RunDue fires every event scheduled at or before now, in time order. Events
@@ -84,12 +173,13 @@ func (q *EventQueue) NextAt() (at time.Duration, ok bool) {
 func (q *EventQueue) RunDue(now time.Duration) int {
 	fired := 0
 	for len(q.h) > 0 && q.h[0].at <= now {
-		popped := heap.Pop(&q.h)
-		ev, ok := popped.(scheduledEvent)
-		if !ok {
-			panic("sim: event queue held non-event value")
+		ev := q.pop()
+		if ev.gen != ev.h.gen || !ev.h.live {
+			continue // cancelled or rescheduled since this entry was pushed
 		}
-		ev.fire(ev.at)
+		ev.h.live = false
+		q.live--
+		ev.h.fire(ev.at)
 		fired++
 	}
 	return fired

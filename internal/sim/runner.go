@@ -22,14 +22,22 @@ func (f TickerFunc) Tick(now time.Duration) { f(now) }
 
 var _ Ticker = TickerFunc(nil)
 
-// Runner drives a fixed-step simulation: each step it advances the clock,
-// fires due scheduled events, then ticks every registered component in
-// registration order. Deterministic ordering is a correctness requirement —
-// the paper's results are averages over seeded runs, and reproducing a run
-// must reproduce its exact event interleaving.
+// Runner drives a hybrid event/step simulation. Each step it advances the
+// clock, fires due scheduled events, ticks every registered component in
+// registration order, and finally fires due observer events. Deterministic
+// ordering is a correctness requirement — the paper's results are averages
+// over seeded runs, and reproducing a run must reproduce its exact event
+// interleaving. The rules are:
+//
+//   - events due at or before a step fire before that step's tickers,
+//     in (time, FIFO-at-equal-time) order;
+//   - tickers run in registration order;
+//   - observer events (SchedulePost) fire after the step's tickers, seeing
+//     the completed step — samplers and probes belong here.
 type Runner struct {
 	clock   *Clock
-	queue   *EventQueue
+	pre     *EventQueue
+	post    *EventQueue
 	tickers []Ticker
 }
 
@@ -41,22 +49,41 @@ func NewRunner(step time.Duration) (*Runner, error) {
 	}
 	return &Runner{
 		clock: clock,
-		queue: NewEventQueue(),
+		pre:   NewEventQueue(),
+		post:  NewEventQueue(),
 	}, nil
 }
 
 // Clock exposes the virtual clock.
 func (r *Runner) Clock() *Clock { return r.clock }
 
-// Schedule enqueues an event at an absolute virtual time. Events scheduled
-// in the past fire on the next step.
-func (r *Runner) Schedule(at time.Duration, fire Event) {
-	r.queue.ScheduleAt(at, fire)
+// Schedule enqueues an event at an absolute virtual time and returns its
+// handle for cancellation or rescheduling. Events scheduled in the past fire
+// on the next step, before that step's tickers.
+func (r *Runner) Schedule(at time.Duration, fire Event) *Handle {
+	return r.pre.ScheduleAt(at, fire)
 }
 
 // ScheduleAfter enqueues an event delay after the current virtual time.
-func (r *Runner) ScheduleAfter(delay time.Duration, fire Event) {
-	r.queue.ScheduleAt(r.clock.Now()+delay, fire)
+func (r *Runner) ScheduleAfter(delay time.Duration, fire Event) *Handle {
+	return r.pre.ScheduleAt(r.clock.Now()+delay, fire)
+}
+
+// SchedulePost enqueues an observer event: it fires after the tickers of the
+// step that reaches at, so it sees the step's completed state. Samplers that
+// must observe "the world as of time t" belong in this lane.
+func (r *Runner) SchedulePost(at time.Duration, fire Event) *Handle {
+	return r.post.ScheduleAt(at, fire)
+}
+
+// step advances one tick: clock, due events, tickers, due observers.
+func (r *Runner) step() {
+	now := r.clock.Advance()
+	r.pre.RunDue(now)
+	for _, t := range r.tickers {
+		t.Tick(now)
+	}
+	r.post.RunDue(now)
 }
 
 // AddTicker registers a per-step component. Tickers run in registration
@@ -71,18 +98,23 @@ func (r *Runner) Run(ctx context.Context, d time.Duration) (int, error) {
 	if d < 0 {
 		return 0, fmt.Errorf("sim: negative run duration %v", d)
 	}
+	return r.RunUntil(ctx, d)
+}
+
+// RunUntil advances the simulation until the clock reaches the absolute
+// virtual time target or ctx is cancelled, returning the number of steps
+// executed. A target at or before the current time is a no-op. This is the
+// single stepping loop: Run and the engine's partial-run paths all funnel
+// through it so cancellation and step accounting live in one place.
+func (r *Runner) RunUntil(ctx context.Context, target time.Duration) (int, error) {
 	steps := 0
-	for r.clock.Now() < d {
+	for r.clock.Now() < target {
 		select {
 		case <-ctx.Done():
 			return steps, ctx.Err()
 		default:
 		}
-		now := r.clock.Advance()
-		r.queue.RunDue(now)
-		for _, t := range r.tickers {
-			t.Tick(now)
-		}
+		r.step()
 		steps++
 	}
 	return steps, nil
@@ -91,10 +123,6 @@ func (r *Runner) Run(ctx context.Context, d time.Duration) (int, error) {
 // RunSteps advances exactly n steps (useful in tests).
 func (r *Runner) RunSteps(n int) {
 	for i := 0; i < n; i++ {
-		now := r.clock.Advance()
-		r.queue.RunDue(now)
-		for _, t := range r.tickers {
-			t.Tick(now)
-		}
+		r.step()
 	}
 }
