@@ -296,41 +296,59 @@ func BenchmarkSweepSchedulerSingleWorker(b *testing.B) {
 }
 
 // BenchmarkEngineScale measures raw kernel throughput at and beyond paper
-// scale: 500 and 2000 nodes at the paper's 100 nodes/km² density, with TTL
-// expiry and rating sampling switched on so every periodic subsystem is in
-// the loop. Each iteration retires one simulated second, so the headline
-// ns/op reads directly as nanoseconds per simulated second — the tick→event
-// speedup trajectory is tracked in DESIGN.md ("Simulation kernel").
+// scale: 500, 2000, and 5000 nodes at the paper's 100 nodes/km² density,
+// crossed with the intra-run worker axis (Config.Workers — the parallel
+// step pipeline), with TTL expiry and rating sampling switched on so every
+// periodic subsystem is in the loop. Worker counts above GOMAXPROCS clamp
+// to it, so on a host with fewer cores the upper worker points measure the
+// same (serial or narrower) configuration — the stale-plans metric shows
+// whether the optimistic scoring path actually ran. Each iteration retires
+// one simulated
+// second, so the headline ns/op reads directly as nanoseconds per simulated
+// second — the speedup trajectory is tracked in DESIGN.md ("Parallel step
+// pipeline"); the committed BENCH_engine.json holds the recorded grid
+// (regenerate with `go run ./cmd/dtnexp -exp bench-engine`).
+//
+// -short trims the grid to {500, 2000} × {1, 4} so the CI bench smoke stays
+// fast; the full grid is for local measurement runs.
 func BenchmarkEngineScale(b *testing.B) {
-	for _, nodes := range []int{500, 2000} {
-		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			spec := scenario.Default(core.SchemeIncentive)
-			spec.Nodes = nodes
-			spec.AreaKm2 = float64(nodes) / 100
-			spec.Duration = 24 * time.Hour // never reached; steps driven manually
-			spec.SelfishPercent = 20
-			spec.MaliciousPercent = 10
-			spec.MeanMessageInterval = 30 * time.Minute
-			cfg, pop, err := scenario.Build(spec)
-			if err != nil {
-				b.Fatal(err)
+	for _, nodes := range []int{500, 2000, 5000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			if testing.Short() && (nodes > 2000 || (workers != 1 && workers != 4)) {
+				continue
 			}
-			cfg.MessageTTL = 30 * time.Minute
-			eng, err := core.NewEngine(cfg, pop)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Warm up: populate buffers, contacts, and the periodic schedule.
-			if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := eng.RunFor(context.Background(), time.Second); err != nil {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				spec := scenario.Default(core.SchemeIncentive)
+				spec.Nodes = nodes
+				spec.AreaKm2 = float64(nodes) / 100
+				spec.Duration = 24 * time.Hour // never reached; steps driven manually
+				spec.SelfishPercent = 20
+				spec.MaliciousPercent = 10
+				spec.MeanMessageInterval = 30 * time.Minute
+				spec.Workers = workers
+				cfg, pop, err := scenario.Build(spec)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				cfg.MessageTTL = 30 * time.Minute
+				eng, err := core.NewEngine(cfg, pop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm up: populate buffers, contacts, and the periodic schedule.
+				if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.RunFor(context.Background(), time.Second); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(eng.StalePlans()), "stale-plans")
+			})
+		}
 	}
 }
 

@@ -23,10 +23,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"dtnsim/internal/experiment"
+	"dtnsim/internal/prof"
 )
 
 func main() {
@@ -38,12 +38,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dtnexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, or all")
+	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, bench-engine, or all")
 	profileName := fs.String("profile", "quick", "scale profile: paper, quick, or bench")
 	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
 	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
+	runWorkers := fs.Int("workers", 1, "intra-run worker goroutines inside each simulation, capped at GOMAXPROCS (results are identical at any count)")
 	progress := fs.Bool("progress", false, "print live scheduler progress (jobs done/total, sim-s per wall-s, ETA) to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	benchOut := fs.String("benchout", "BENCH_engine.json", "output path for the bench-engine measurement grid")
+	benchWindow := fs.Int("benchwindow", 60, "bench-engine measured window in simulated seconds per grid point")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +55,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	profile.Workers = *runWorkers
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -58,17 +63,15 @@ func run(args []string) error {
 		defer cancel()
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "dtnexp: profile:", perr)
+		}
+	}()
 
 	// One bounded pool for the whole suite: every sweep's (point × scheme ×
 	// seed) jobs share these workers, so -exp all scales with cores without
@@ -145,6 +148,22 @@ func run(args []string) error {
 		"sensitivity": func() error {
 			t, _, err := experiment.Sensitivity(ctx, profile)
 			return printTable(t, err)
+		},
+		"bench-engine": func() error {
+			points, err := experiment.EngineBench(ctx, experiment.EngineBenchGrid(), *benchWindow, os.Stderr)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiment.WriteEngineBench(f, points); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d bench points to %s\n", len(points), *benchOut)
+			return nil
 		},
 	}
 

@@ -18,6 +18,7 @@ import (
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/prof"
 	"dtnsim/internal/report"
 	"dtnsim/internal/scenario"
 	"dtnsim/internal/trace"
@@ -48,6 +49,9 @@ func run(args []string) error {
 		connPath  = fs.String("conntrace", "", "write a ONE-style connectivity trace to this file")
 		replay    = fs.String("replay", "", "replay connectivity from a ONE-style trace file instead of mobility")
 		battery   = fs.Float64("battery", 0, "per-node radio energy budget in joules (0 = unlimited)")
+		workers   = fs.Int("workers", 1, "intra-run worker goroutines for the parallel step pipeline, capped at GOMAXPROCS (results are identical at any count)")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +77,7 @@ func run(args []string) error {
 	spec.InitialTokens = *tokens
 	spec.Seed = *seed
 	spec.Step = *step
+	spec.Workers = *workers
 	spec.ClassSplit = *classes
 	spec.BatteryJoules = *battery
 	if *router != "chitchat" {
@@ -126,8 +131,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	res, err := eng.Run(context.Background())
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

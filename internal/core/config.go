@@ -80,6 +80,15 @@ func (m ReputationModel) String() string {
 type Config struct {
 	// Seed drives every random stream in the run.
 	Seed int64
+	// Workers bounds the intra-run parallelism: the mobility advance,
+	// contact-pair detection, and exchange scoring each shard across up to
+	// this many goroutines per tick. Zero or one runs fully serially, and
+	// counts above GOMAXPROCS are clamped to it (extra workers can never
+	// cut wall-clock time but would forfeit the serial fast paths).
+	// Results are byte-identical across worker counts — parallel phases are
+	// read-only or write to pre-assigned slots merged in canonical order,
+	// and exchange plans apply optimistically with a serial fallback.
+	Workers int
 	// Step is the tick granularity.
 	Step time.Duration
 	// Duration is the simulated time span (Table 5.1: 24 h).
@@ -174,6 +183,8 @@ func DefaultConfig() Config {
 // Validate checks the configuration end to end.
 func (c Config) Validate() error {
 	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
 	case c.Step <= 0:
 		return fmt.Errorf("core: step must be positive, got %v", c.Step)
 	case c.Duration <= 0:

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dtnsim/internal/interest"
 	"dtnsim/internal/message"
 	"dtnsim/internal/routing"
 	"dtnsim/internal/sim"
@@ -33,6 +34,14 @@ type contact struct {
 	gossipEv    *sim.Handle
 	exchangeDue bool
 	gossipDue   bool
+	// plan holds this tick's pre-scored exchange outcome when the parallel
+	// scoring pass ran (Engine.scoreExchanges); planScored marks it fresh.
+	// peersA/peersB are the plan's per-contact peer-table scratch, private
+	// to this contact so scoring passes can run concurrently.
+	plan       interest.ExchangePlan
+	planScored bool
+	peersA     []*interest.Table
+	peersB     []*interest.Table
 	// queue[queueHead:] are the pending transfers. Dequeuing advances
 	// queueHead instead of reslicing from the front, so a long-lived
 	// contact releases its consumed prefix (see pop) rather than pinning

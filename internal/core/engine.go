@@ -44,6 +44,22 @@ type Engine struct {
 	peerTabB    []*interest.Table
 	tickNo      uint64
 
+	// workers bounds the intra-tick parallel phases (Config.Workers). The
+	// phases shard work but keep results in canonical order, so any worker
+	// count produces a byte-identical run; see DESIGN.md "Parallel step
+	// pipeline".
+	workers *sim.Workers
+	// parallelMove is true when every node's mobility model advertises
+	// mobility.ParallelAdvance; one unsafe model (GroupMember reads its
+	// leader mid-step) keeps the mobility phase serial.
+	parallelMove bool
+	posScratch   []world.Point
+	pairBufs     [][]world.Pair
+	dueScratch   []*contact
+	// stalePlans counts exchange plans discarded because an earlier contact
+	// in the same tick's serial pass mutated a table the plan had read.
+	stalePlans uint64
+
 	// agenda schedules per-contact periodic work (exchange and gossip
 	// rounds). It is drained at the head of each tick's contact pass — not
 	// on the runner's event lanes — because a due round must still observe
@@ -112,6 +128,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		contacts:    make(map[world.Pair]*contact),
 		peersOf:     make(map[ident.NodeID][]*contact),
 		agenda:      sim.NewEventQueue(),
+		workers:     sim.NewWorkers(cfg.Workers),
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
 	}
 	if s, ok := router.(*routing.SprayAndWait); ok {
@@ -141,6 +158,13 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 			e.malicious = append(e.malicious, id)
 		} else {
 			e.honest = append(e.honest, id)
+		}
+	}
+	e.parallelMove = true
+	for _, n := range e.nodes {
+		if _, ok := n.model.(mobility.ParallelAdvance); !ok {
+			e.parallelMove = false
+			break
 		}
 	}
 	if cfg.ContactTrace != nil {
@@ -325,11 +349,60 @@ func nextDeadline(due, interval, now time.Duration) time.Duration {
 	return due
 }
 
+// moveNodes advances every mobility model and folds the new positions into
+// the grid. With workers and parallel-safe models the advances shard across
+// goroutines into a dense scratch array — each model owns its state and its
+// forked RNG stream, so shards never share mutable state — and the grid
+// merge then runs serially in node-index order, reproducing the serial
+// Upsert sequence exactly.
 func (e *Engine) moveNodes() {
 	step := e.runner.Clock().Step()
-	for _, n := range e.nodes {
-		e.grid.Upsert(n.id, n.model.Advance(step))
+	if e.workers.N() <= 1 || !e.parallelMove {
+		for _, n := range e.nodes {
+			e.grid.Upsert(n.id, n.model.Advance(step))
+		}
+		return
 	}
+	if cap(e.posScratch) < len(e.nodes) {
+		e.posScratch = make([]world.Point, len(e.nodes))
+	}
+	pos := e.posScratch[:len(e.nodes)]
+	e.workers.Shard(len(e.nodes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos[i] = e.nodes[i].model.Advance(step)
+		}
+	})
+	for i, n := range e.nodes {
+		e.grid.Upsert(n.id, pos[i])
+	}
+}
+
+// detectPairs computes the in-range pair set, sharding the grid scan by
+// cell-row bands when workers are available. Shards only read the grid and
+// append into per-worker buffers; concatenating in shard order and sorting
+// reproduces Grid.Pairs byte for byte (see Grid.PairsRows).
+func (e *Engine) detectPairs(dst []world.Pair) []world.Pair {
+	k := e.workers.N()
+	if rows := e.grid.Rows(); k > rows {
+		k = rows
+	}
+	if k <= 1 {
+		return e.grid.Pairs(dst, e.cfg.Radio.Range)
+	}
+	if cap(e.pairBufs) < k {
+		e.pairBufs = make([][]world.Pair, k)
+	}
+	bufs := e.pairBufs[:k]
+	rows := e.grid.Rows()
+	e.workers.Do(k, func(p int) {
+		bufs[p] = e.grid.PairsRows(bufs[p][:0], e.cfg.Radio.Range, rows*p/k, rows*(p+1)/k)
+	})
+	start := len(dst)
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	world.SortPairs(dst[start:])
+	return dst
 }
 
 // updateContacts diffs the in-range pair set against the live contact set,
@@ -340,7 +413,7 @@ func (e *Engine) updateContacts(now time.Duration) {
 		e.updateTraceContacts(now)
 		return
 	}
-	e.pairScratch = e.grid.Pairs(e.pairScratch[:0], e.cfg.Radio.Range)
+	e.pairScratch = e.detectPairs(e.pairScratch[:0])
 	for _, p := range e.pairScratch {
 		if c, ok := e.contacts[p]; ok {
 			c.seen = e.tickNo
@@ -442,7 +515,7 @@ func (e *Engine) contactDown(c *contact) {
 	if c.gossipEv != nil {
 		c.gossipEv.Cancel()
 	}
-	c.exchangeDue, c.gossipDue = false, false
+	c.exchangeDue, c.gossipDue, c.planScored = false, false, false
 	if !c.open {
 		return
 	}
@@ -490,6 +563,7 @@ func removeContact(list []*contact, c *contact) []*contact {
 // deterministic order the old per-contact poll used.
 func (e *Engine) progressContacts(now time.Duration) {
 	e.agenda.RunDue(now)
+	e.scoreExchanges(now)
 	for _, c := range e.contactList {
 		if !c.open || c.dead {
 			continue
@@ -512,3 +586,44 @@ func (e *Engine) progressContacts(now time.Duration) {
 		e.progressTransfer(c, now)
 	}
 }
+
+// scoreExchanges is the parallel half of the exchange rounds: after the
+// agenda has raised this tick's due flags, the expensive read-only RTSR
+// scoring (decay, growth, acquisition — see interest.ExchangePlan) runs
+// concurrently across all due contacts. Scoring only reads tables, contact
+// peer lists, and the peersOf map — nothing mutates until the serial
+// contact pass — so contacts sharing a node may score concurrently. The
+// serial pass then applies each plan in creation order, falling back to the
+// serial exchange when an earlier apply invalidated the plan's reads.
+func (e *Engine) scoreExchanges(now time.Duration) {
+	if e.workers.N() <= 1 {
+		return
+	}
+	due := e.dueScratch[:0]
+	for _, c := range e.contactList {
+		if c.open && !c.dead && c.exchangeDue {
+			due = append(due, c)
+		}
+	}
+	e.dueScratch = due
+	if len(due) == 0 {
+		return
+	}
+	e.workers.Do(len(due), func(i int) {
+		c := due[i]
+		c.peersA = peerTablesInto(c.peersA[:0], e.peersOf[c.a.id], c.a)
+		c.peersB = peerTablesInto(c.peersB[:0], e.peersOf[c.b.id], c.b)
+		c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id,
+			c.peersA, c.peersB, now, now-c.exchangedAt)
+		c.planScored = true
+	})
+}
+
+// StalePlans reports how many pre-scored exchange plans were discarded for
+// staleness over the run so far (zero when running serially). Benchmarks
+// read it to confirm the optimistic scoring mostly sticks.
+func (e *Engine) StalePlans() uint64 { return e.stalePlans }
+
+// Workers reports the effective intra-run worker count — Config.Workers
+// after sim.NewWorkers' GOMAXPROCS clamp. 1 means the serial fast paths.
+func (e *Engine) Workers() int { return e.workers.N() }

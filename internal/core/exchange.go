@@ -19,17 +19,34 @@ import (
 func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
 	c.exchangedAt = now
 
-	// Decay → exchange → growth, fused into the allocation-light pairwise
-	// form (interest.ExchangeGrow preserves the phase ordering). Decay
-	// needs each side's full connected-peer set: an interest shared by any
-	// live neighbour holds its weight (Algorithm 1).
-	e.peerTabA = e.peerTables(e.peerTabA[:0], c.a)
-	e.peerTabB = e.peerTables(e.peerTabB[:0], c.b)
-	interest.ExchangeGrow(
-		c.a.table, c.b.table, c.a.id, c.b.id,
-		e.peerTabA, e.peerTabB,
-		now, grown,
-	)
+	// RTSR phase. When the parallel pass pre-scored this contact and no
+	// earlier apply this tick touched the tables the plan read, the scored
+	// outcome lands directly (interest.ExchangePlan is bit-identical to the
+	// serial path); otherwise fall back to the serial pairwise exchange.
+	applied := false
+	if c.planScored {
+		c.planScored = false
+		if c.plan.StillValid() {
+			c.plan.Apply()
+			applied = true
+		} else {
+			e.stalePlans++
+		}
+	}
+	if !applied {
+		// Decay → exchange → growth, fused into the allocation-light
+		// pairwise form (interest.ExchangeGrow preserves the phase
+		// ordering). Decay needs each side's full connected-peer set: an
+		// interest shared by any live neighbour holds its weight
+		// (Algorithm 1).
+		e.peerTabA = e.peerTables(e.peerTabA[:0], c.a)
+		e.peerTabB = e.peerTables(e.peerTabB[:0], c.b)
+		interest.ExchangeGrow(
+			c.a.table, c.b.table, c.a.id, c.b.id,
+			e.peerTabA, e.peerTabB,
+			now, grown,
+		)
+	}
 
 	// Routing phase, both directions.
 	e.routeDirection(c, c.a, c.b, now)
@@ -53,7 +70,13 @@ func sortOffersFIFO(offers []routing.Offer) {
 // peerTables appends the interest tables of all of n's open contacts to dst
 // (pass an engine scratch slice; one exchange round runs at a time).
 func (e *Engine) peerTables(dst []*interest.Table, n *Node) []*interest.Table {
-	for _, c := range e.peersOf[n.id] {
+	return peerTablesInto(dst, e.peersOf[n.id], n)
+}
+
+// peerTablesInto is peerTables over an explicit contact list; the parallel
+// scoring pass calls it with per-contact scratch slices.
+func peerTablesInto(dst []*interest.Table, contacts []*contact, n *Node) []*interest.Table {
+	for _, c := range contacts {
 		dst = append(dst, c.other(n).table)
 	}
 	return dst

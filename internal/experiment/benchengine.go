@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/scenario"
+)
+
+// This file holds the engine-throughput bench runner behind
+// `dtnexp -exp bench-engine`: the same workload as BenchmarkEngineScale
+// (bench_test.go), but run as a plain program so the numbers land in a
+// committed BENCH_engine.json instead of scrolling past in test output.
+// DESIGN.md's "Parallel step pipeline" section quotes the recorded grid.
+
+// EngineBenchPoint is one measured (nodes × workers) configuration.
+type EngineBenchPoint struct {
+	Nodes   int `json:"nodes"`
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the worker count after the GOMAXPROCS clamp —
+	// what the engine actually ran with on the measurement host. Points
+	// with equal effective counts are the same configuration.
+	EffectiveWorkers int `json:"effective_workers"`
+	// SimSeconds is how much virtual time the measured window covered.
+	SimSeconds float64 `json:"sim_seconds"`
+	// MsPerSimSecond is wall milliseconds spent per simulated second —
+	// lower is faster; 1000 means real time.
+	MsPerSimSecond float64 `json:"ms_per_sim_second"`
+	// BytesPerSimSecond is heap allocation per simulated second.
+	BytesPerSimSecond float64 `json:"bytes_per_sim_second"`
+	// StalePlans counts optimistic exchange plans that had to fall back to
+	// the serial path during the measured window (always 0 at workers=1,
+	// where no plans are scored).
+	StalePlans uint64 `json:"stale_plans"`
+}
+
+// EngineBenchGrid is the default measurement grid: the BenchmarkEngineScale
+// node counts crossed with the worker axis.
+func EngineBenchGrid() []EngineBenchPoint {
+	var grid []EngineBenchPoint
+	for _, nodes := range []int{500, 2000, 5000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			grid = append(grid, EngineBenchPoint{Nodes: nodes, Workers: workers})
+		}
+	}
+	return grid
+}
+
+// EngineBench measures each grid point in place: build the paper-density
+// network, warm up two simulated minutes (buffers, contacts, periodic
+// schedule), then time simSeconds simulated seconds and record wall time
+// and allocation per simulated second.
+func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds int, log io.Writer) ([]EngineBenchPoint, error) {
+	if simSeconds <= 0 {
+		return nil, fmt.Errorf("experiment: bench window must be positive, got %d", simSeconds)
+	}
+	out := make([]EngineBenchPoint, 0, len(grid))
+	for _, pt := range grid {
+		spec := scenario.Default(core.SchemeIncentive)
+		spec.Nodes = pt.Nodes
+		spec.AreaKm2 = float64(pt.Nodes) / 100
+		spec.Duration = 24 * time.Hour // never reached; windows driven manually
+		spec.SelfishPercent = 20
+		spec.MaliciousPercent = 10
+		spec.MeanMessageInterval = 30 * time.Minute
+		spec.Workers = pt.Workers
+		cfg, pop, err := scenario.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MessageTTL = 30 * time.Minute
+		eng, err := core.NewEngine(cfg, pop)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RunFor(ctx, 2*time.Minute); err != nil {
+			return nil, err
+		}
+
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := eng.RunFor(ctx, time.Duration(simSeconds)*time.Second); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		pt.EffectiveWorkers = eng.Workers()
+		pt.SimSeconds = float64(simSeconds)
+		pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
+		pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
+		pt.StalePlans = eng.StalePlans()
+		out = append(out, pt)
+		if log != nil {
+			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s, %.0f B/sim-s, stale=%d\n",
+				pt.Nodes, pt.Workers, pt.EffectiveWorkers, pt.MsPerSimSecond, pt.BytesPerSimSecond, pt.StalePlans)
+		}
+	}
+	return out, nil
+}
+
+// WriteEngineBench renders the measured grid as the committed
+// BENCH_engine.json format: indented JSON with a stable field order.
+func WriteEngineBench(w io.Writer, points []EngineBenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -39,15 +40,18 @@ func kernelGoldenSpec(scheme core.Scheme) scenario.Spec {
 	return spec
 }
 
-// renderKernelGolden runs one scheme and formats every figure-feeding
-// observable deterministically.
-func renderKernelGolden(t *testing.T, scheme core.Scheme) string {
+// renderKernelGolden runs one scheme with the given worker count and
+// formats every figure-feeding observable deterministically. The worker
+// count deliberately does not appear in the output: any count must
+// reproduce the same bytes.
+func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int) string {
 	t.Helper()
 	spec := kernelGoldenSpec(scheme)
 	cfg, nodes, err := scenario.Build(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.Workers = workers
 	var trace report.Buffer
 	cfg.Recorder = &trace
 	eng, err := core.NewEngine(cfg, nodes)
@@ -105,7 +109,7 @@ func TestKernelByteIdenticalToPollingSeed(t *testing.T) {
 	}
 	var b strings.Builder
 	for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-		b.WriteString(renderKernelGolden(t, scheme))
+		b.WriteString(renderKernelGolden(t, scheme, 1))
 	}
 	got := b.String()
 
@@ -126,5 +130,42 @@ func TestKernelByteIdenticalToPollingSeed(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("kernel output diverged from the recorded polling-kernel golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestParallelWorkersByteIdentical is the parallel pipeline's determinism
+// guard: running the golden scenario with 2 and 8 workers must reproduce
+// the same recorded golden, byte for byte, that the serial engine produces
+// — sharded mobility, sharded pair detection, and optimistic exchange
+// scoring included. (Both worker counts matter: 2 exercises shard-boundary
+// merging, 8 oversubscribes the 60-node contact set.)
+func TestParallelWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour determinism runs skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "kernel_default.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-kernel-golden): %v", err)
+	}
+	// Lift GOMAXPROCS past the largest worker count so sim.NewWorkers'
+	// clamp doesn't quietly serialize the runs on a small CI host. The
+	// parent's Cleanup runs only after both parallel subtests finish.
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			var b strings.Builder
+			for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
+				b.WriteString(renderKernelGolden(t, scheme, workers))
+			}
+			if got := b.String(); got != string(want) {
+				t.Errorf("workers=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+			}
+		})
 	}
 }

@@ -39,6 +39,10 @@ type Profile struct {
 	MeanMessageInterval time.Duration
 	// Step is the tick granularity.
 	Step time.Duration
+	// Workers bounds each run's intra-run parallelism (scenario.Spec
+	// Workers); zero or one runs serially. Results are byte-identical
+	// across worker counts, so profiles may raise it freely.
+	Workers int
 }
 
 // The standard profiles. All keep the paper's density of 100 nodes/km².
@@ -98,6 +102,7 @@ func (p Profile) baseSpec(scheme core.Scheme) scenario.Spec {
 	spec.Duration = p.Duration
 	spec.MeanMessageInterval = p.MeanMessageInterval
 	spec.Step = p.Step
+	spec.Workers = p.Workers
 	return spec
 }
 

@@ -21,6 +21,7 @@ import (
 // exchange partner — a transient interest learned from one neighbour must
 // not decay while that neighbour is still attached.
 func (t *Table) DecayAgainst(now time.Duration, peers ...*Table) {
+	t.version++
 	prune := t.pruneScratch[:0]
 	for _, id := range t.active {
 		e := t.rows[id]
@@ -98,6 +99,7 @@ func (t *Table) growthDeltas(peer *Table, dt time.Duration) []float64 {
 // applyDeltas applies precomputed growth deltas (skipping the unshared
 // sentinel) and refreshes T_l for shared keywords.
 func (t *Table) applyDeltas(deltas []float64, now time.Duration) {
+	t.version++
 	for i, d := range deltas {
 		if d < 0 {
 			continue
@@ -127,6 +129,7 @@ func (t *Table) unknownTo(other *Table) []int32 {
 // acquireGrown adds the listed peer keywords as transient interests and
 // applies their first growth increment.
 func (t *Table) acquireGrown(peer *Table, ids []int32, from ident.NodeID, now time.Duration, dt time.Duration) {
+	t.version++
 	seconds := dt.Seconds()
 	for _, id := range ids {
 		pe := peer.row(id)

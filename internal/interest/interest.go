@@ -84,6 +84,17 @@ type Table struct {
 	rows   []*Entry // indexed by keyword ID; nil = absent
 	active []int32  // IDs with live entries, ascending
 
+	// version counts mutations and shape counts the subset that changes
+	// membership (inserts and removes). The parallel exchange-scoring phase
+	// records, for every table a plan read, the counter matching what it
+	// read — full versions for the two endpoints (weights, flags), shapes
+	// for the other connected peers (presence checks only) — and the plan
+	// applies only while those counters still match; otherwise the round
+	// recomputes serially (see ExchangePlan). Every mutating method bumps
+	// version; insert/remove bump shape.
+	version uint64
+	shape   uint64
+
 	// free recycles pruned row entries: transient-interest churn
 	// (acquire → decay → prune, once per exchange round) made Entry the
 	// hottest allocation in the engine's profile. Tables are
@@ -111,6 +122,16 @@ func NewTable(params Params, in *Interner) (*Table, error) {
 // Interner returns the shared keyword interner.
 func (t *Table) Interner() *Interner { return t.in }
 
+// Version returns the table's mutation counter. Two reads returning the
+// same value bracket a span with no table mutations — the staleness check
+// behind the engine's optimistic parallel exchange scoring.
+func (t *Table) Version() uint64 { return t.version }
+
+// Shape returns the membership counter: it advances only when a row is
+// inserted or removed, not on weight or flag updates. Exchange plans
+// validate peer tables by shape because decay reads only peer membership.
+func (t *Table) Shape() uint64 { return t.shape }
+
 func (t *Table) row(id int32) *Entry {
 	if int(id) >= len(t.rows) {
 		return nil
@@ -119,6 +140,7 @@ func (t *Table) row(id int32) *Entry {
 }
 
 func (t *Table) insert(id int32, e *Entry) {
+	t.shape++
 	for int(id) >= len(t.rows) {
 		t.rows = append(t.rows, nil)
 	}
@@ -145,6 +167,7 @@ func (t *Table) remove(id int32) {
 	if int(id) >= len(t.rows) || t.rows[id] == nil {
 		return
 	}
+	t.shape++
 	t.free = append(t.free, t.rows[id])
 	t.rows[id] = nil
 	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
@@ -157,6 +180,7 @@ func (t *Table) remove(id int32) {
 // keyword exists as transient it is promoted to direct, keeping the higher
 // of its current weight and InitialWeight.
 func (t *Table) DeclareDirect(kw string, now time.Duration) {
+	t.version++
 	id := t.in.ID(kw)
 	if e := t.row(id); e != nil {
 		e.Direct = true
@@ -177,6 +201,7 @@ func (t *Table) DeclareDirect(kw string, now time.Duration) {
 // Acquire records a transient interest learned from a peer, starting at
 // weight zero (growth will raise it while the contact lasts).
 func (t *Table) Acquire(kw string, from ident.NodeID, now time.Duration) {
+	t.version++
 	id := t.in.ID(kw)
 	if t.row(id) != nil {
 		return
@@ -284,6 +309,7 @@ func (t *Table) MeanWeightIDs(ids []int32) float64 {
 // amplifies weights when below one (e.g. a sub-second gap); we clamp the
 // divisor to at least 1 so decay is monotone non-increasing.
 func (t *Table) Decay(now time.Duration, connected map[string]bool) {
+	t.version++
 	var prune []int32
 	for _, id := range t.active {
 		e := t.rows[id]
@@ -303,16 +329,25 @@ func (t *Table) Decay(now time.Duration, connected map[string]bool) {
 // decayRow applies the decay formula to one entry and reports whether the
 // (transient) entry fell below the prune threshold.
 func (t *Table) decayRow(e *Entry, now time.Duration) bool {
-	div := t.params.Beta * (now - e.LastShared).Seconds()
+	w, prune := decayValue(t.params, e, now)
+	e.Weight = w
+	return prune
+}
+
+// decayValue computes the decay outcome for one row without mutating it —
+// the shared formula behind decayRow and the side-effect-free exchange
+// scoring (ExchangePlan). It returns the new weight and whether the
+// (transient) entry fell below the prune threshold.
+func decayValue(params Params, e *Entry, now time.Duration) (float64, bool) {
+	div := params.Beta * (now - e.LastShared).Seconds()
 	if div < 1 {
-		return false
+		return e.Weight, false
 	}
 	if e.Direct {
-		e.Weight = (e.Weight-InitialWeight)/div + InitialWeight
-		return false
+		return (e.Weight-InitialWeight)/div + InitialWeight, false
 	}
-	e.Weight = e.Weight / div
-	return e.Weight < t.params.PruneBelow
+	w := e.Weight / div
+	return w, w < params.PruneBelow
 }
 
 // PeerView is the decayed weight snapshot a connected device shares during
@@ -339,6 +374,7 @@ type PeerWeight struct {
 // acquired as transient interests, then grown — this is how "interests of
 // the connected devices can be acquired" (Paper II §3.2).
 func (t *Table) Grow(now time.Duration, peers []PeerView) {
+	t.version++
 	// Acquire unknown keywords first so Δ accrues for them this round.
 	for _, pv := range peers {
 		for kw := range pv.Weights {

@@ -1,0 +1,266 @@
+package interest
+
+import (
+	"sort"
+	"time"
+
+	"dtnsim/internal/ident"
+)
+
+// This file holds the side-effect-free half of the pairwise RTSR exchange.
+// ExchangeGrow (exchange.go) mutates both tables in place; ExchangePlan
+// computes exactly the same outcome — decayed weights, growth deltas, prune
+// and acquisition sets — without touching either table, so the engine can
+// score many contacts concurrently and serialize only the (cheap) writes.
+//
+// The concurrency scheme is optimistic: Score records a counter for every
+// table it read — the full version counter for the two endpoints (whose
+// weights and flags it read) and only the shape counter for the other
+// connected peers (whose rows it probed purely for membership). A plan may
+// be applied only while StillValid reports true; if an earlier contact in
+// the serial apply pass mutated any of those tables in a way the plan could
+// observe, the engine discards the plan and recomputes that contact
+// serially with ExchangeGrow. The shape distinction matters: most exchanges
+// only rewrite weights, so they leave neighbouring plans valid and the
+// stale-fallback rate stays low even in dense clusters. Both paths are
+// bit-identical — Score mirrors ExchangeGrow's exact floating-point
+// operation order — which is what keeps event traces byte-identical across
+// worker counts.
+
+// ExchangePlan is a reusable scored-but-unapplied pairwise exchange.
+// Not safe for concurrent use; the engine keeps one per contact.
+type ExchangePlan struct {
+	a, b     *Table
+	aID, bID ident.NodeID
+	now      time.Duration
+
+	aPlan, bPlan tablePlan
+
+	// tables/versions snapshot the endpoints' full version counters;
+	// peerTables/peerShapes snapshot the connected peers' shape counters.
+	// Together they cover everything Score read, for StillValid.
+	tables     []*Table
+	versions   []uint64
+	peerTables []*Table
+	peerShapes []uint64
+}
+
+// tablePlan is the pending outcome for one endpoint: parallel slices over
+// the table's active IDs at Score time, plus the acquisition list.
+type tablePlan struct {
+	ids     []int32   // snapshot of t.active, ascending
+	decayed []float64 // weight after the decay phase
+	final   []float64 // weight after growth (== decayed when not grown)
+	refresh []bool    // LastShared := now on apply
+	prune   []bool    // remove on apply (transient rows only)
+
+	acqIDs []int32   // keywords acquired from the partner, ascending
+	acqW   []float64 // their first-growth weights
+}
+
+func (p *tablePlan) reset() {
+	p.ids = p.ids[:0]
+	p.decayed = p.decayed[:0]
+	p.final = p.final[:0]
+	p.refresh = p.refresh[:0]
+	p.prune = p.prune[:0]
+	p.acqIDs = p.acqIDs[:0]
+	p.acqW = p.acqW[:0]
+}
+
+// alive reports whether id survives this plan's decay phase — the
+// post-decay membership test the serial path gets by reading the partner's
+// table after DecayAgainst ran.
+func (p *tablePlan) alive(id int32) bool {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	return i < len(p.ids) && p.ids[i] == id && !p.prune[i]
+}
+
+// Score computes the full exchange outcome for a contact that has lasted dt
+// since its previous exchange, reading but never writing the tables. The
+// arguments mirror ExchangeGrow: aPeers/bPeers are the complete
+// connected-peer table lists (each including the partner). Score may run
+// concurrently with other Scores over the same tables, but not with any
+// table mutation.
+func (p *ExchangePlan) Score(a, b *Table, aID, bID ident.NodeID, aPeers, bPeers []*Table, now, dt time.Duration) {
+	p.a, p.b, p.aID, p.bID, p.now = a, b, aID, bID, now
+	p.captureVersions(a, b, aPeers, bPeers)
+
+	// Decay phase, preserving ExchangeGrow's ordering asymmetry: a decays
+	// first, seeing every peer (including b) pre-decay; b decays second,
+	// seeing a's membership post-decay — via a's freshly scored plan — and
+	// every other peer pre-decay.
+	p.aPlan.scoreDecay(a, now, aPeers, nil, nil)
+	p.bPlan.scoreDecay(b, now, bPeers, a, &p.aPlan)
+
+	// Growth phase: both deltas read the other side's decayed-but-not-grown
+	// weights, and grow only keywords alive on both sides post-decay.
+	scoreGrowth(&p.aPlan, &p.bPlan, a, b, dt)
+
+	// Acquisition phase: each side acquires the keywords only the partner
+	// holds post-decay, at the partner's post-growth weight.
+	sec := dt.Seconds()
+	p.aPlan.scoreAcquisitions(&p.bPlan, b, a.params.GrowthRate, sec)
+	p.bPlan.scoreAcquisitions(&p.aPlan, a, b.params.GrowthRate, sec)
+}
+
+func (p *ExchangePlan) captureVersions(a, b *Table, aPeers, bPeers []*Table) {
+	p.tables = append(p.tables[:0], a, b)
+	p.versions = append(p.versions[:0], a.version, b.version)
+	p.peerTables = p.peerTables[:0]
+	p.peerShapes = p.peerShapes[:0]
+	for _, t := range aPeers {
+		p.recordPeer(t, b)
+	}
+	for _, t := range bPeers {
+		p.recordPeer(t, a)
+	}
+}
+
+// recordPeer snapshots a peer's shape counter. The partner appears in each
+// side's peer list but is already version-tracked as an endpoint, so it is
+// skipped here.
+func (p *ExchangePlan) recordPeer(t, partner *Table) {
+	if t == partner {
+		return
+	}
+	p.peerTables = append(p.peerTables, t)
+	p.peerShapes = append(p.peerShapes, t.shape)
+}
+
+// StillValid reports whether nothing Score read has changed since: the
+// endpoints' tables are unmutated and the peers' memberships are unchanged
+// (peer weight updates are invisible to a plan and do not invalidate it).
+// A stale plan must be discarded; the engine falls back to ExchangeGrow.
+func (p *ExchangePlan) StillValid() bool {
+	for i, t := range p.tables {
+		if t.version != p.versions[i] {
+			return false
+		}
+	}
+	for i, t := range p.peerTables {
+		if t.shape != p.peerShapes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply writes the scored outcome into both tables. Must only be called
+// while StillValid holds, from the single goroutine that owns the tables.
+func (p *ExchangePlan) Apply() {
+	p.aPlan.apply(p.a, p.bID, p.now)
+	p.bPlan.apply(p.b, p.aID, p.now)
+}
+
+// scoreDecay runs Algorithm 1 for t without mutating it. partner/partnerPlan,
+// when non-nil, substitute the partner's post-decay membership for its live
+// rows wherever the peer list names the partner.
+func (p *tablePlan) scoreDecay(t *Table, now time.Duration, peers []*Table, partner *Table, partnerPlan *tablePlan) {
+	p.reset()
+	for _, id := range t.active {
+		e := t.rows[id]
+		shared := false
+		for _, peer := range peers {
+			if peer == partner {
+				if partnerPlan.alive(id) {
+					shared = true
+					break
+				}
+				continue
+			}
+			if peer.row(id) != nil {
+				shared = true
+				break
+			}
+		}
+		p.ids = append(p.ids, id)
+		if shared {
+			p.decayed = append(p.decayed, e.Weight)
+			p.refresh = append(p.refresh, true)
+			p.prune = append(p.prune, false)
+			continue
+		}
+		w, pr := decayValue(t.params, e, now)
+		p.decayed = append(p.decayed, w)
+		p.refresh = append(p.refresh, false)
+		p.prune = append(p.prune, pr)
+	}
+}
+
+// scoreGrowth fills both plans' final weights: a merge over the two sorted
+// ID snapshots applies the growth increment wherever a keyword is alive on
+// both sides post-decay, reproducing growthDeltas+applyDeltas bit for bit.
+func scoreGrowth(aPlan, bPlan *tablePlan, a, b *Table, dt time.Duration) {
+	aPlan.final = append(aPlan.final, aPlan.decayed...)
+	bPlan.final = append(bPlan.final, bPlan.decayed...)
+	sec := dt.Seconds()
+	i, j := 0, 0
+	for i < len(aPlan.ids) && j < len(bPlan.ids) {
+		switch {
+		case aPlan.ids[i] < bPlan.ids[j]:
+			i++
+		case aPlan.ids[i] > bPlan.ids[j]:
+			j++
+		default:
+			if !aPlan.prune[i] && !bPlan.prune[j] {
+				ae, be := a.rows[aPlan.ids[i]], b.rows[bPlan.ids[j]]
+				aDelta := bPlan.decayed[j] * a.params.GrowthRate * sec / float64(psiCase(ae.Direct, be.Direct))
+				bDelta := aPlan.decayed[i] * b.params.GrowthRate * sec / float64(psiCase(be.Direct, ae.Direct))
+				aPlan.final[i] = clampWeight(aPlan.decayed[i] + aDelta)
+				bPlan.final[j] = clampWeight(bPlan.decayed[j] + bDelta)
+				aPlan.refresh[i] = true
+				bPlan.refresh[j] = true
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// scoreAcquisitions collects the keywords alive in the partner's plan but
+// absent from this side post-decay, at first-growth weight — the plan form
+// of unknownTo + acquireGrown. rate is the acquiring table's growth rate.
+func (p *tablePlan) scoreAcquisitions(partner *tablePlan, partnerTab *Table, rate, sec float64) {
+	for j, id := range partner.ids {
+		if partner.prune[j] || p.alive(id) {
+			continue
+		}
+		pe := partnerTab.rows[id]
+		w := clampWeight(partner.final[j] * rate * sec / float64(psiCase(false, pe.Direct)))
+		p.acqIDs = append(p.acqIDs, id)
+		p.acqW = append(p.acqW, w)
+	}
+}
+
+// apply writes one endpoint's plan into its table: prune, final weights and
+// refreshes in ID order, then acquisitions — the same per-table write
+// sequence ExchangeGrow produces.
+func (p *tablePlan) apply(t *Table, from ident.NodeID, now time.Duration) {
+	t.version++
+	for i, id := range p.ids {
+		if p.prune[i] {
+			t.remove(id)
+			continue
+		}
+		e := t.rows[id]
+		e.Weight = p.final[i]
+		if p.refresh[i] {
+			e.LastShared = now
+		}
+	}
+	for i, id := range p.acqIDs {
+		e := t.takeEntry()
+		e.Weight = p.acqW[i]
+		e.LastShared = now
+		e.AcquiredFrom = from
+		t.insert(id, e)
+	}
+}
+
+func clampWeight(w float64) float64 {
+	if w > MaxWeight {
+		return MaxWeight
+	}
+	return w
+}

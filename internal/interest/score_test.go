@@ -1,0 +1,158 @@
+package interest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+// cloneTable deep-copies a table onto the same interner, preserving row
+// order, weights, flags, and the version counter.
+func cloneTable(t *Table) *Table {
+	c := &Table{params: t.params, in: t.in, version: t.version}
+	for _, id := range t.active {
+		e := *t.rows[id]
+		c.insert(id, &e)
+	}
+	return c
+}
+
+// randomTable builds a table with a random mix of direct and transient
+// rows over the first nKeywords interned keywords. LastShared values spread
+// far enough back that decay and pruning both trigger.
+func randomTable(rng *sim.RNG, params Params, in *Interner, nKeywords int, now time.Duration) *Table {
+	t, err := NewTable(params, in)
+	if err != nil {
+		panic(err)
+	}
+	for k := 0; k < nKeywords; k++ {
+		if rng.Coin(0.45) {
+			continue
+		}
+		kw := fmt.Sprintf("kw%d", k)
+		age := time.Duration(rng.Range(0, float64(2*time.Minute)))
+		if rng.Coin(0.3) {
+			t.DeclareDirect(kw, now-age)
+			t.Entry(kw).Weight = rng.Range(InitialWeight, MaxWeight)
+			t.Entry(kw).LastShared = now - age
+		} else {
+			t.Acquire(kw, ident.NodeID(rng.Intn(50)), now-age)
+			t.Entry(kw).Weight = rng.Range(0, MaxWeight)
+		}
+	}
+	return t
+}
+
+func requireTablesEqual(t *testing.T, label string, got, want *Table) {
+	t.Helper()
+	if len(got.active) != len(want.active) {
+		t.Fatalf("%s: %d rows, want %d\n got  %v\n want %v", label, len(got.active), len(want.active), got.active, want.active)
+	}
+	for i, id := range want.active {
+		if got.active[i] != id {
+			t.Fatalf("%s: active[%d] = %d, want %d", label, i, got.active[i], id)
+		}
+		ge, we := got.rows[id], want.rows[id]
+		if ge.Weight != we.Weight || ge.Direct != we.Direct ||
+			ge.LastShared != we.LastShared || ge.AcquiredFrom != we.AcquiredFrom {
+			t.Fatalf("%s: row %q = %+v, want %+v", label, got.in.Word(id), *ge, *we)
+		}
+	}
+}
+
+// TestExchangePlanMatchesExchangeGrow is the tentpole equivalence property:
+// Score+Apply must leave both tables bit-identical — weights compared with
+// ==, not a tolerance — to ExchangeGrow, across random populations that
+// exercise decay, refresh, pruning, growth clamping, and acquisition.
+func TestExchangePlanMatchesExchangeGrow(t *testing.T) {
+	rng := sim.NewRNG(42)
+	params := DefaultParams()
+	var plan ExchangePlan // reused across trials, like the engine reuses per-contact plans
+	for trial := 0; trial < 200; trial++ {
+		in := NewInterner()
+		now := 10 * time.Minute
+		dt := time.Duration(rng.Range(float64(time.Second), float64(90*time.Second)))
+		nKw := 4 + rng.Intn(24)
+
+		a := randomTable(rng, params, in, nKw, now)
+		b := randomTable(rng, params, in, nKw, now)
+		aPeers := []*Table{b}
+		bPeers := []*Table{a}
+		for p := rng.Intn(3); p > 0; p-- {
+			aPeers = append(aPeers, randomTable(rng, params, in, nKw, now))
+		}
+		for p := rng.Intn(3); p > 0; p-- {
+			bPeers = append(bPeers, randomTable(rng, params, in, nKw, now))
+		}
+
+		aSerial, bSerial := cloneTable(a), cloneTable(b)
+		aPeersSerial := []*Table{bSerial}
+		for _, p := range aPeers[1:] {
+			aPeersSerial = append(aPeersSerial, cloneTable(p))
+		}
+		bPeersSerial := []*Table{aSerial}
+		for _, p := range bPeers[1:] {
+			bPeersSerial = append(bPeersSerial, cloneTable(p))
+		}
+
+		ExchangeGrow(aSerial, bSerial, 1, 2, aPeersSerial, bPeersSerial, now, dt)
+
+		plan.Score(a, b, 1, 2, aPeers, bPeers, now, dt)
+		if !plan.StillValid() {
+			t.Fatalf("trial %d: fresh plan reported stale", trial)
+		}
+		plan.Apply()
+
+		requireTablesEqual(t, fmt.Sprintf("trial %d table a", trial), a, aSerial)
+		requireTablesEqual(t, fmt.Sprintf("trial %d table b", trial), b, bSerial)
+	}
+}
+
+// TestExchangePlanStillValid pins the staleness protocol: any endpoint
+// mutation or peer membership change invalidates a plan, weight-only peer
+// updates do not (decay reads only peer membership), and applying a valid
+// plan invalidates other plans that read the same tables.
+func TestExchangePlanStillValid(t *testing.T) {
+	params := DefaultParams()
+	in := NewInterner()
+	now := time.Minute
+	mk := func(kws ...string) *Table {
+		tab, err := NewTable(params, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kw := range kws {
+			tab.DeclareDirect(kw, now)
+		}
+		return tab
+	}
+	a, b, c := mk("x", "y"), mk("y", "z"), mk("z")
+
+	var plan ExchangePlan
+	plan.Score(a, b, 1, 2, []*Table{b, c}, []*Table{a}, now, time.Second)
+	if !plan.StillValid() {
+		t.Fatal("fresh plan reported stale")
+	}
+
+	c.version++ // weight-only peer update: invisible to the plan
+	c.Entry("z").Weight = 0.5
+	if !plan.StillValid() {
+		t.Fatal("plan went stale on a weight-only peer update")
+	}
+
+	c.DeclareDirect("w", now) // membership change: read by a's decay
+	if plan.StillValid() {
+		t.Fatal("plan still valid after peer table membership changed")
+	}
+
+	plan.Score(a, b, 1, 2, []*Table{b, c}, []*Table{a}, now, time.Second)
+	var other ExchangePlan
+	other.Score(b, c, 2, 3, []*Table{c, a}, []*Table{b}, now, time.Second)
+	plan.Apply() // mutates a and b
+	if other.StillValid() {
+		t.Fatal("overlapping plan still valid after Apply mutated shared table")
+	}
+}

@@ -60,7 +60,10 @@ type ManhattanGrid struct {
 	speed float64
 }
 
-var _ Model = (*ManhattanGrid)(nil)
+var _ ParallelAdvance = (*ManhattanGrid)(nil)
+
+// ParallelAdvanceSafe implements ParallelAdvance.
+func (w *ManhattanGrid) ParallelAdvanceSafe() {}
 
 // NewManhattanGrid starts a walker at a random intersection heading in a
 // random street direction.

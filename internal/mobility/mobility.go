@@ -21,13 +21,29 @@ type Model interface {
 	Advance(dt time.Duration) world.Point
 }
 
+// ParallelAdvance marks models whose Advance touches only their own state
+// (position, leg bookkeeping, and their private RNG stream), so the engine
+// may advance different nodes' models concurrently within a step.
+// GroupMember deliberately lacks the marker: its Advance reads the leader's
+// live position, an ordering dependency only the serial ID-order walk
+// preserves — one such model in a network keeps the whole mobility phase
+// serial.
+type ParallelAdvance interface {
+	Model
+	// ParallelAdvanceSafe is a marker; implementations do nothing.
+	ParallelAdvanceSafe()
+}
+
 // Stationary keeps a node at a fixed point (infrastructure nodes, or the
 // pinned devices in the Paper II demo walkthrough).
 type Stationary struct {
 	At world.Point
 }
 
-var _ Model = (*Stationary)(nil)
+var _ ParallelAdvance = (*Stationary)(nil)
+
+// ParallelAdvanceSafe implements ParallelAdvance.
+func (s *Stationary) ParallelAdvanceSafe() {}
 
 // Position implements Model.
 func (s *Stationary) Position() world.Point { return s.At }
@@ -87,7 +103,10 @@ type RandomWaypoint struct {
 	pause time.Duration // remaining pause before picking the next leg
 }
 
-var _ Model = (*RandomWaypoint)(nil)
+var _ ParallelAdvance = (*RandomWaypoint)(nil)
+
+// ParallelAdvanceSafe implements ParallelAdvance.
+func (w *RandomWaypoint) ParallelAdvanceSafe() {}
 
 // NewRandomWaypoint creates a walker starting at a uniform random position.
 func NewRandomWaypoint(cfg RandomWaypointConfig, rng *sim.RNG) (*RandomWaypoint, error) {
@@ -165,7 +184,10 @@ type TimedPoint struct {
 	P world.Point
 }
 
-var _ Model = (*Waypoints)(nil)
+var _ ParallelAdvance = (*Waypoints)(nil)
+
+// ParallelAdvanceSafe implements ParallelAdvance.
+func (f *Waypoints) ParallelAdvanceSafe() {}
 
 // NewWaypoints builds a follower; steps must be in increasing time order and
 // non-empty.

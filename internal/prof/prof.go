@@ -1,0 +1,51 @@
+// Package prof is the tiny shared pprof harness behind the CLIs'
+// -cpuprofile/-memprofile flags, so dtnsim and dtnexp profile identically
+// instead of each open-coding runtime/pprof.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two paths; either may be empty to
+// disable that profile. It returns a stop function that must be called at
+// the end of the run (typically deferred): stop ends the CPU profile and
+// writes the heap profile. Errors from Start leave no profiling active.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// An up-to-date live-heap picture, matching `go test -memprofile`.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

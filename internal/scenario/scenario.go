@@ -45,6 +45,10 @@ type Spec struct {
 	Scheme core.Scheme
 	// Seed drives population sampling and the run.
 	Seed int64
+	// Workers bounds the engine's intra-run parallelism (core.Config
+	// Workers); zero or one runs serially. Any value produces
+	// byte-identical results.
+	Workers int
 	// Duration overrides the 24 h default when positive.
 	Duration time.Duration
 	// AreaKm2 overrides the 5 km² default when positive.
@@ -128,6 +132,7 @@ func Build(spec Spec) (core.Config, []core.NodeSpec, error) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = spec.Seed
+	cfg.Workers = spec.Workers
 	cfg.Scheme = spec.Scheme
 	cfg.Workload = core.DefaultWorkload(vocab)
 	if spec.Duration > 0 {

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// raiseGOMAXPROCS lifts GOMAXPROCS to at least n for the duration of the
+// test, so worker-count clamping doesn't quietly serialize the concurrency
+// under test on small CI hosts.
+func raiseGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= n {
+		return
+	}
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestWorkersDoCoversEveryPart(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	for _, n := range []int{0, 1, 2, 4, 8} {
+		w := NewWorkers(n)
+		const parts = 97
+		hits := make([]int32, parts)
+		w.Do(parts, func(p int) { atomic.AddInt32(&hits[p], 1) })
+		for p, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: part %d ran %d times", n, p, h)
+			}
+		}
+	}
+}
+
+func TestWorkersDoSerialRunsInOrder(t *testing.T) {
+	w := NewWorkers(1)
+	var order []int
+	w.Do(5, func(p int) { order = append(order, p) })
+	for i, p := range order {
+		if i != p {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}
+
+func TestWorkersClampsToGOMAXPROCS(t *testing.T) {
+	if n := NewWorkers(1 << 20).N(); n > runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewWorkers(1<<20).N() = %d, want <= GOMAXPROCS (%d)", n, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestWorkersShardPartitionsExactly(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			w := NewWorkers(workers)
+			covered := make([]int32, n)
+			w.Shard(n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty shard [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersNilIsSerial(t *testing.T) {
+	var w *Workers
+	if w.N() != 1 {
+		t.Fatalf("nil Workers N = %d, want 1", w.N())
+	}
+	ran := 0
+	w.Do(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("nil Workers Do ran %d parts, want 3", ran)
+	}
+}

@@ -13,14 +13,21 @@ import (
 // cells around the query point. Positions are updated in place each step and
 // neighbor queries are read-only, which keeps the per-step cost linear in
 // the number of nodes plus the number of nearby pairs.
+//
+// Node state is kept in dense slices indexed directly by NodeID: the engine
+// mints IDs as 0..n-1 (see ident.NodeID), so pos/cellOf lookups — two per
+// node per tick on the mobility path — are array loads instead of the map
+// probes that previously dominated the step profile. Sparse IDs work but
+// cost O(maxID) memory.
 type Grid struct {
 	bounds Rect
 	cell   float64
 	cols   int
 	rows   int
 	cells  [][]ident.NodeID
-	pos    map[ident.NodeID]Point
-	cellOf map[ident.NodeID]int
+	pos    []Point // indexed by NodeID; valid only where cellOf >= 0
+	cellOf []int32 // indexed by NodeID; -1 = absent
+	count  int
 }
 
 // NewGrid builds a grid over bounds with the given cell size (normally the
@@ -40,10 +47,12 @@ func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
 		cols:   cols,
 		rows:   rows,
 		cells:  make([][]ident.NodeID, cols*rows),
-		pos:    make(map[ident.NodeID]Point),
-		cellOf: make(map[ident.NodeID]int),
 	}, nil
 }
+
+// Rows returns the number of cell rows; PairsRows shards scan row bands of
+// [0, Rows()).
+func (g *Grid) Rows() int { return g.rows }
 
 func (g *Grid) cellIndex(p Point) int {
 	cx := int(p.X / g.cell)
@@ -63,17 +72,29 @@ func (g *Grid) cellIndex(p Point) int {
 	return cy*g.cols + cx
 }
 
+// ensure grows the dense node slices to cover id.
+func (g *Grid) ensure(id ident.NodeID) {
+	for int(id) >= len(g.cellOf) {
+		g.cellOf = append(g.cellOf, -1)
+		g.pos = append(g.pos, Point{})
+	}
+}
+
 // Upsert places or moves a node. Positions outside the bounds are clamped,
-// matching the mobility models which never leave the area.
+// matching the mobility models which never leave the area. IDs must be
+// non-negative.
 func (g *Grid) Upsert(id ident.NodeID, p Point) {
 	p = g.bounds.Clamp(p)
-	newCell := g.cellIndex(p)
-	if old, ok := g.cellOf[id]; ok {
+	g.ensure(id)
+	newCell := int32(g.cellIndex(p))
+	if old := g.cellOf[id]; old >= 0 {
 		if old == newCell {
 			g.pos[id] = p
 			return
 		}
 		g.removeFromCell(id, old)
+	} else {
+		g.count++
 	}
 	g.cells[newCell] = append(g.cells[newCell], id)
 	g.cellOf[id] = newCell
@@ -82,16 +103,15 @@ func (g *Grid) Upsert(id ident.NodeID, p Point) {
 
 // Remove deletes a node from the grid. Removing an absent node is a no-op.
 func (g *Grid) Remove(id ident.NodeID) {
-	cell, ok := g.cellOf[id]
-	if !ok {
+	if int(id) < 0 || int(id) >= len(g.cellOf) || g.cellOf[id] < 0 {
 		return
 	}
-	g.removeFromCell(id, cell)
-	delete(g.cellOf, id)
-	delete(g.pos, id)
+	g.removeFromCell(id, g.cellOf[id])
+	g.cellOf[id] = -1
+	g.count--
 }
 
-func (g *Grid) removeFromCell(id ident.NodeID, cell int) {
+func (g *Grid) removeFromCell(id ident.NodeID, cell int32) {
 	members := g.cells[cell]
 	for i, m := range members {
 		if m == id {
@@ -104,19 +124,21 @@ func (g *Grid) removeFromCell(id ident.NodeID, cell int) {
 
 // Position returns a node's current position; ok is false for unknown nodes.
 func (g *Grid) Position(id ident.NodeID) (Point, bool) {
-	p, ok := g.pos[id]
-	return p, ok
+	if int(id) < 0 || int(id) >= len(g.cellOf) || g.cellOf[id] < 0 {
+		return Point{}, false
+	}
+	return g.pos[id], true
 }
 
 // Len returns the number of nodes currently in the grid.
-func (g *Grid) Len() int { return len(g.pos) }
+func (g *Grid) Len() int { return g.count }
 
 // Within appends to dst all nodes other than id within radius of id's
 // position, sorted by NodeID for determinism, and returns the extended
 // slice. Radius must not exceed the grid's cell size times 1 (the 3×3 block
 // guarantee); larger radii fall back to widening the scanned block.
 func (g *Grid) Within(dst []ident.NodeID, id ident.NodeID, radius float64) []ident.NodeID {
-	center, ok := g.pos[id]
+	center, ok := g.Position(id)
 	if !ok {
 		return dst
 	}
@@ -170,13 +192,33 @@ func (g *Grid) withinPoint(dst []ident.NodeID, center Point, radius float64, exc
 // contact-detection primitive: the engine diffs consecutive Pairs results to
 // derive contact-up and contact-down events.
 func (g *Grid) Pairs(dst []Pair, radius float64) []Pair {
+	start := len(dst)
+	dst = g.PairsRows(dst, radius, 0, g.rows)
+	SortPairs(dst[start:])
+	return dst
+}
+
+// PairsRows appends, unsorted, every in-range pair whose anchor cell — the
+// lexicographically lower of the two cells, the one the sequential scan
+// credits the pair to — lies in cell rows [rowLo, rowHi). The union of
+// PairsRows over a partition of [0, Rows()) is exactly the Pairs multiset
+// (sort the concatenation with SortPairs to reproduce Pairs byte for byte),
+// which is what lets the engine shard contact detection across workers:
+// shards only read the grid, so any row partition may be scanned
+// concurrently, each shard appending into its own buffer.
+func (g *Grid) PairsRows(dst []Pair, radius float64, rowLo, rowHi int) []Pair {
 	if radius <= 0 {
 		return dst
 	}
-	start := len(dst)
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	if rowHi > g.rows {
+		rowHi = g.rows
+	}
 	r2 := radius * radius
 	reach := int(math.Ceil(radius / g.cell))
-	for cy := 0; cy < g.rows; cy++ {
+	for cy := rowLo; cy < rowHi; cy++ {
 		for cx := 0; cx < g.cols; cx++ {
 			members := g.cells[cy*g.cols+cx]
 			if len(members) == 0 {
@@ -192,7 +234,8 @@ func (g *Grid) Pairs(dst []Pair, radius float64) []Pair {
 				}
 			}
 			// Pairs against forward-neighbor cells only, so each cell pair
-			// is visited once.
+			// is visited once. The neighbor may lie outside this shard's
+			// rows; that is a read, and the pair is still credited here.
 			for dy := 0; dy <= reach; dy++ {
 				y := cy + dy
 				if y >= g.rows {
@@ -220,7 +263,6 @@ func (g *Grid) Pairs(dst []Pair, radius float64) []Pair {
 			}
 		}
 	}
-	sortPairs(dst[start:])
 	return dst
 }
 
@@ -240,7 +282,9 @@ func sortIDs(ids []ident.NodeID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
-func sortPairs(ps []Pair) {
+// SortPairs orders pairs lexicographically — the canonical order Pairs
+// returns and the engine's contact diffing relies on.
+func SortPairs(ps []Pair) {
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].Lo != ps[j].Lo {
 			return ps[i].Lo < ps[j].Lo

@@ -1,0 +1,67 @@
+package world
+
+import (
+	"testing"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+// TestPairsRowsMatchesSequential is the sharding property test: for random
+// populations — including positions outside the bounds, which Upsert clamps
+// onto the boundary cells — concatenating PairsRows over any partition of
+// the row space and sorting must reproduce Pairs exactly.
+func TestPairsRowsMatchesSequential(t *testing.T) {
+	rng := sim.NewRNG(7)
+	bounds := Rect{Width: 900, Height: 700}
+	const radius = 100
+	for trial := 0; trial < 25; trial++ {
+		g, err := NewGrid(bounds, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := 20 + rng.Intn(180)
+		for i := 0; i < nodes; i++ {
+			// A fifth of the points land outside the area (negative or
+			// beyond the far edge) to exercise clamping onto edge cells.
+			p := Point{
+				X: rng.Range(-200, bounds.Width+200),
+				Y: rng.Range(-200, bounds.Height+200),
+			}
+			g.Upsert(ident.NodeID(i), p)
+		}
+		want := g.Pairs(nil, radius)
+
+		for _, shards := range []int{1, 2, 3, 5, g.Rows(), g.Rows() + 4} {
+			var got []Pair
+			for s := 0; s < shards; s++ {
+				lo := g.Rows() * s / shards
+				hi := g.Rows() * (s + 1) / shards
+				got = g.PairsRows(got, radius, lo, hi)
+			}
+			SortPairs(got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d shards %d: %d pairs, want %d", trial, shards, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d shards %d: pair %d = %v, want %v", trial, shards, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPairsRowsClampsRange guards the band bounds: out-of-range rows are
+// clamped, and an empty band appends nothing.
+func TestPairsRowsClampsRange(t *testing.T) {
+	g := mustGrid(t, Rect{Width: 100, Height: 100}, 10)
+	g.Upsert(1, Point{5, 5})
+	g.Upsert(2, Point{8, 5})
+	if got := g.PairsRows(nil, 10, -3, g.Rows()+5); len(got) != 1 {
+		t.Fatalf("clamped full scan found %d pairs, want 1", len(got))
+	}
+	if got := g.PairsRows(nil, 10, 5, 5); len(got) != 0 {
+		t.Fatalf("empty band found %d pairs", len(got))
+	}
+}
