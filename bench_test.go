@@ -352,6 +352,57 @@ func BenchmarkEngineScale(b *testing.B) {
 	}
 }
 
+// BenchmarkContactDetection isolates the kinetic neighbor-list win: the
+// same engine workload under the mobility regimes contact detection pays
+// for — stationary deployments, slow crowds, the paper's pedestrians — with
+// the kinetic path on (auto skin) and forced off (the historical full
+// per-tick grid scan). Each iteration retires one simulated second, so
+// ns/op reads as nanoseconds per simulated second; the rebuilds metric
+// confirms the skin is amortising scans (stationary rebuilds exactly once).
+// The committed BENCH_contacts.json holds the recorded grid (regenerate
+// with `go run ./cmd/dtnexp -exp bench-contacts`).
+//
+// -short trims the grid to the stationary and pedestrian regimes so the CI
+// race bench smoke exercises both the primed-candidate and rebuild paths
+// cheaply.
+func BenchmarkContactDetection(b *testing.B) {
+	for _, pt := range experiment.ContactBenchGrid() {
+		if testing.Short() && pt.Scenario == "slow" {
+			continue
+		}
+		pt := pt
+		name := fmt.Sprintf("scenario=%s/kinetic=%t", pt.Scenario, pt.Kinetic)
+		b.Run(name, func(b *testing.B) {
+			nodes := pt.Nodes
+			if testing.Short() {
+				nodes = 500
+			}
+			grid := []experiment.ContactBenchPoint{pt}
+			grid[0].Nodes = nodes
+			// Reuse the experiment runner's engine construction but drive
+			// the timing loop through testing.B.
+			eng, err := experiment.ContactBenchEngine(grid[0], 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			if eng.KineticContacts() != pt.Kinetic {
+				b.Fatalf("kinetic = %v, want %v", eng.KineticContacts(), pt.Kinetic)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunFor(context.Background(), time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.ContactRebuilds()), "rebuilds")
+		})
+	}
+}
+
 func reportSweep(b *testing.B, points []experiment.Fig51Point) {
 	b.Helper()
 	if len(points) == 0 {

@@ -38,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dtnexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, bench-engine, or all")
+	exp := fs.String("exp", "all", "experiment id: table5.1, fig5.1 .. fig5.6, ablations, routers, battery, bench-engine, bench-contacts, or all")
 	profileName := fs.String("profile", "quick", "scale profile: paper, quick, or bench")
 	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
 	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
@@ -47,7 +47,9 @@ func run(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "output path for the bench-engine measurement grid")
-	benchWindow := fs.Int("benchwindow", 60, "bench-engine measured window in simulated seconds per grid point")
+	benchWindow := fs.Int("benchwindow", 60, "bench-engine/bench-contacts measured window in simulated seconds per grid point")
+	contactsOut := fs.String("contactsout", "BENCH_contacts.json", "output path for the bench-contacts measurement grid")
+	skin := fs.Float64("skin", 0, "kinetic contact-detection skin in metres for bench-contacts' kinetic points (0 = auto, a quarter of the radio range)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,6 +165,22 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Printf("wrote %d bench points to %s\n", len(points), *benchOut)
+			return nil
+		},
+		"bench-contacts": func() error {
+			points, err := experiment.ContactBench(ctx, experiment.ContactBenchGrid(), *benchWindow, *skin, os.Stderr)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*contactsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiment.WriteContactBench(f, points); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d bench points to %s\n", len(points), *contactsOut)
 			return nil
 		},
 	}

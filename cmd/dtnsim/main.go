@@ -50,6 +50,7 @@ func run(args []string) error {
 		replay    = fs.String("replay", "", "replay connectivity from a ONE-style trace file instead of mobility")
 		battery   = fs.Float64("battery", 0, "per-node radio energy budget in joules (0 = unlimited)")
 		workers   = fs.Int("workers", 1, "intra-run worker goroutines for the parallel step pipeline, capped at GOMAXPROCS (results are identical at any count)")
+		skin      = fs.Float64("skin", 0, "kinetic contact-detection skin in metres (0 = auto, a quarter of the radio range; negative forces the full per-tick scan; results are identical at any value)")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
@@ -88,6 +89,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg.ContactSkin = *skin
 	if *replay != "" {
 		f, ferr := os.Open(*replay)
 		if ferr != nil {

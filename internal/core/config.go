@@ -89,6 +89,17 @@ type Config struct {
 	// read-only or write to pre-assigned slots merged in canonical order,
 	// and exchange plans apply optimistically with a serial fallback.
 	Workers int
+	// ContactSkin tunes kinetic contact detection: the conservative slack,
+	// in metres, added to the radio range when the engine snapshots its
+	// candidate pair list. The list stays valid until worst-case node
+	// displacement (2·maxSpeed·elapsed) reaches the skin, so each tick does
+	// only exact distance checks over the candidates instead of a full grid
+	// scan — with byte-identical contact events (see DESIGN.md "Kinetic
+	// contact detection"). Zero picks the automatic default (a quarter of
+	// the radio range); a negative value disables the kinetic path
+	// entirely, restoring the per-tick scan. The path also disables itself
+	// when any node's mobility model is not mobility.SpeedBounded.
+	ContactSkin float64
 	// Step is the tick granularity.
 	Step time.Duration
 	// Duration is the simulated time span (Table 5.1: 24 h).

@@ -60,6 +60,21 @@ type Engine struct {
 	// in the same tick's serial pass mutated a table the plan had read.
 	stalePlans uint64
 
+	// Kinetic contact detection (see DESIGN.md "Kinetic contact
+	// detection"): while every mobility model is speed-bounded, the engine
+	// keeps a candidate pair list — every pair within radius+kinSkin at the
+	// last grid scan — alive across ticks and filters it with exact
+	// distance checks. kinTraveled accumulates the worst case closing
+	// displacement 2·kinMaxSpeed·step per tick; once it exceeds kinSkin the
+	// candidates can no longer be trusted and the grid is rescanned.
+	// kinSkin == 0 disables the path (full scan every tick).
+	kinSkin     float64
+	kinMaxSpeed float64
+	kinTraveled float64
+	kinPrimed   bool
+	kinCands    []world.Pair
+	kinRebuilds uint64
+
 	// agenda schedules per-contact periodic work (exchange and gossip
 	// rounds). It is drained at the head of each tick's contact pass — not
 	// on the runner's event lanes — because a due round must still observe
@@ -153,7 +168,8 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 			return nil, nerr
 		}
 		e.nodes = append(e.nodes, n)
-		e.grid.Upsert(id, n.model.Position())
+		n.lastPos = n.model.Position()
+		e.grid.Upsert(id, n.lastPos)
 		if spec.Profile.Kind == behavior.Malicious {
 			e.malicious = append(e.malicious, id)
 		} else {
@@ -165,6 +181,28 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		if _, ok := n.model.(mobility.ParallelAdvance); !ok {
 			e.parallelMove = false
 			break
+		}
+	}
+	switch {
+	case cfg.ContactSkin < 0:
+		e.kinSkin = 0
+	case cfg.ContactSkin == 0:
+		e.kinSkin = cfg.Radio.Range / 4
+	default:
+		e.kinSkin = cfg.ContactSkin
+	}
+	if e.kinSkin > 0 {
+		for _, n := range e.nodes {
+			sb, ok := n.model.(mobility.SpeedBounded)
+			if !ok {
+				// One unbounded model poisons the displacement bound for
+				// every pair it could participate in; fall back wholesale.
+				e.kinSkin = 0
+				break
+			}
+			if s := sb.MaxSpeed(); s > e.kinMaxSpeed {
+				e.kinMaxSpeed = s
+			}
 		}
 	}
 	if cfg.ContactTrace != nil {
@@ -354,12 +392,19 @@ func nextDeadline(due, interval, now time.Duration) time.Duration {
 // goroutines into a dense scratch array — each model owns its state and its
 // forked RNG stream, so shards never share mutable state — and the grid
 // merge then runs serially in node-index order, reproducing the serial
-// Upsert sequence exactly.
+// Upsert sequence exactly. A model that returns the position it returned
+// last tick (stationary nodes, paused waypoints) skips the upsert outright:
+// the grid state cannot change, and the skip short-circuits the cell hash
+// and dense-slice writes on exactly the scenarios kinetic detection
+// targets.
 func (e *Engine) moveNodes() {
 	step := e.runner.Clock().Step()
 	if e.workers.N() <= 1 || !e.parallelMove {
 		for _, n := range e.nodes {
-			e.grid.Upsert(n.id, n.model.Advance(step))
+			if p := n.model.Advance(step); p != n.lastPos {
+				n.lastPos = p
+				e.grid.Upsert(n.id, p)
+			}
 		}
 		return
 	}
@@ -373,15 +418,45 @@ func (e *Engine) moveNodes() {
 		}
 	})
 	for i, n := range e.nodes {
-		e.grid.Upsert(n.id, pos[i])
+		if p := pos[i]; p != n.lastPos {
+			n.lastPos = p
+			e.grid.Upsert(n.id, p)
+		}
 	}
 }
 
-// detectPairs computes the in-range pair set, sharding the grid scan by
-// cell-row bands when workers are available. Shards only read the grid and
-// append into per-worker buffers; concatenating in shard order and sorting
-// reproduces Grid.Pairs byte for byte (see Grid.PairsRows).
+// detectPairs computes the in-range pair set. With kinetic detection active
+// it filters the standing candidate list — rescanning the grid only when
+// accumulated worst-case displacement has eaten the skin — and otherwise
+// falls back to the full per-tick scan. Either path produces the pair set
+// byte-identical to Grid.Pairs: the candidate list is a sorted conservative
+// superset, and filtering preserves order, so no re-sort is needed between
+// rebuilds.
 func (e *Engine) detectPairs(dst []world.Pair) []world.Pair {
+	if e.kinSkin <= 0 {
+		return e.scanPairs(dst)
+	}
+	// Movement already happened this tick; account for it before trusting
+	// the candidates. Closing speed is at most 2·maxSpeed (both endpoints
+	// heading straight at each other), so a pair farther than
+	// radius+kinSkin at the last scan is still out of range while
+	// kinTraveled ≤ kinSkin. All-stationary networks never re-accumulate,
+	// so they scan exactly once.
+	e.kinTraveled += 2 * e.kinMaxSpeed * e.runner.Clock().Step().Seconds()
+	if !e.kinPrimed || e.kinTraveled > e.kinSkin {
+		e.kinCands = e.scanCandidates(e.kinCands[:0])
+		e.kinTraveled = 0
+		e.kinPrimed = true
+		e.kinRebuilds++
+	}
+	return e.filterCandidates(dst)
+}
+
+// scanPairs is the full grid scan, sharded by cell-row bands when workers
+// are available. Shards only read the grid and append into per-worker
+// buffers; concatenating in shard order and sorting reproduces Grid.Pairs
+// byte for byte (see Grid.PairsRows).
+func (e *Engine) scanPairs(dst []world.Pair) []world.Pair {
 	k := e.workers.N()
 	if rows := e.grid.Rows(); k > rows {
 		k = rows
@@ -402,6 +477,71 @@ func (e *Engine) detectPairs(dst []world.Pair) []world.Pair {
 		dst = append(dst, b...)
 	}
 	world.SortPairs(dst[start:])
+	return dst
+}
+
+// scanCandidates rebuilds the kinetic candidate list: every pair within
+// radius+kinSkin, sorted, sharded by cell-row bands exactly like scanPairs.
+func (e *Engine) scanCandidates(dst []world.Pair) []world.Pair {
+	k := e.workers.N()
+	if rows := e.grid.Rows(); k > rows {
+		k = rows
+	}
+	if k <= 1 {
+		return e.grid.Candidates(dst, e.cfg.Radio.Range, e.kinSkin)
+	}
+	if cap(e.pairBufs) < k {
+		e.pairBufs = make([][]world.Pair, k)
+	}
+	bufs := e.pairBufs[:k]
+	rows := e.grid.Rows()
+	e.workers.Do(k, func(p int) {
+		bufs[p] = e.grid.CandidatesRows(bufs[p][:0], e.cfg.Radio.Range, e.kinSkin, rows*p/k, rows*(p+1)/k)
+	})
+	start := len(dst)
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	world.SortPairs(dst[start:])
+	return dst
+}
+
+// filterCandidates appends the candidates that are exactly in range this
+// tick, sharding the distance checks over contiguous candidate ranges. The
+// candidate list is sorted and filtering keeps relative order, so the
+// shard-order concatenation is already canonical — the per-tick cost is one
+// InRange per candidate, near O(contacts) in sparse DTN scenarios.
+func (e *Engine) filterCandidates(dst []world.Pair) []world.Pair {
+	r := e.cfg.Radio.Range
+	k := e.workers.N()
+	if k > len(e.kinCands) {
+		k = len(e.kinCands)
+	}
+	if k <= 1 {
+		for _, p := range e.kinCands {
+			if e.grid.InRange(p.Lo, p.Hi, r) {
+				dst = append(dst, p)
+			}
+		}
+		return dst
+	}
+	if cap(e.pairBufs) < k {
+		e.pairBufs = make([][]world.Pair, k)
+	}
+	bufs := e.pairBufs[:k]
+	cands := e.kinCands
+	e.workers.Do(k, func(p int) {
+		buf := bufs[p][:0]
+		for _, pr := range cands[len(cands)*p/k : len(cands)*(p+1)/k] {
+			if e.grid.InRange(pr.Lo, pr.Hi, r) {
+				buf = append(buf, pr)
+			}
+		}
+		bufs[p] = buf
+	})
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
 	return dst
 }
 
@@ -627,3 +767,18 @@ func (e *Engine) StalePlans() uint64 { return e.stalePlans }
 // Workers reports the effective intra-run worker count — Config.Workers
 // after sim.NewWorkers' GOMAXPROCS clamp. 1 means the serial fast paths.
 func (e *Engine) Workers() int { return e.workers.N() }
+
+// KineticContacts reports whether kinetic contact detection is active —
+// false when the configuration disabled it (negative ContactSkin) or a
+// mobility model without a speed bound forced the per-tick scan.
+func (e *Engine) KineticContacts() bool { return e.kinSkin > 0 }
+
+// ContactSkin reports the resolved kinetic skin in metres; 0 means the
+// kinetic path is disabled.
+func (e *Engine) ContactSkin() float64 { return e.kinSkin }
+
+// ContactRebuilds reports how many times the kinetic candidate list was
+// rebuilt from the grid over the run so far. Benchmarks read it to confirm
+// the skin is actually amortising scans (stationary scenarios rebuild
+// exactly once).
+func (e *Engine) ContactRebuilds() uint64 { return e.kinRebuilds }

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"dtnsim/internal/behavior"
+	"dtnsim/internal/enrich"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/sim"
+	"dtnsim/internal/world"
+)
+
+// kineticMixConfig builds a small dense scenario for the per-tick
+// equivalence property: enough nodes and little enough area that contacts
+// churn constantly, with background workload on so the full engine runs.
+func kineticMixConfig(t *testing.T, seed int64, workers int, skin float64) Config {
+	t.Helper()
+	vocab, err := enrich.NewVocabulary(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.ContactSkin = skin
+	cfg.Area = world.Rect{Width: 600, Height: 600}
+	cfg.Duration = 24 * time.Hour // stepped manually
+	cfg.Workload = DefaultWorkload(vocab)
+	cfg.Workload.MeanInterval = 2 * time.Minute
+	cfg.RatingSampleInterval = 0
+	return cfg
+}
+
+// mixSpecs assembles a population from the named mobility mix. Models draw
+// from the engine-independent RNG stream so the mix itself is deterministic
+// per seed.
+func mixSpecs(t *testing.T, mix string, nodes int, bounds world.Rect, seed int64) []NodeSpec {
+	t.Helper()
+	rng := sim.NewRNG(seed).Fork("mix-" + mix)
+	newRWP := func(i int, min, max float64) mobility.Model {
+		cfg := mobility.DefaultPedestrian(bounds)
+		cfg.MinSpeed, cfg.MaxSpeed = min, max
+		w, err := mobility.NewRandomWaypoint(cfg, rng.Fork("walk-"+strconv.Itoa(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	specs := make([]NodeSpec, nodes)
+	var leader mobility.Model
+	for i := range specs {
+		specs[i].Profile = behavior.CooperativeProfile()
+		switch mix {
+		case "stationary-heavy":
+			if rng.Coin(0.7) {
+				specs[i].Mobility = &mobility.Stationary{At: world.Point{
+					X: rng.Range(0, bounds.Width), Y: rng.Range(0, bounds.Height)}}
+			} else {
+				specs[i].Mobility = newRWP(i, 0.5, 1.5)
+			}
+		case "pedestrian":
+			specs[i].Mobility = newRWP(i, 0.5, 1.5)
+		case "fast-mixed":
+			switch rng.Intn(3) {
+			case 0:
+				specs[i].Mobility = newRWP(i, 2, 6)
+			case 1:
+				m, err := mobility.NewManhattanGrid(mobility.DefaultManhattan(bounds), rng.Fork("street-"+strconv.Itoa(i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				specs[i].Mobility = m
+			default:
+				specs[i].Mobility = &mobility.Stationary{At: world.Point{
+					X: rng.Range(0, bounds.Width), Y: rng.Range(0, bounds.Height)}}
+			}
+		case "group":
+			if leader == nil || rng.Coin(0.2) {
+				leader = newRWP(i, 0.5, 1.5)
+				specs[i].Mobility = leader
+			} else {
+				m, err := mobility.NewGroupMember(mobility.DefaultGroup(), leader, bounds, rng.Fork("member-"+strconv.Itoa(i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				specs[i].Mobility = m
+			}
+		default:
+			t.Fatalf("unknown mix %q", mix)
+		}
+	}
+	return specs
+}
+
+// TestKineticMatchesFullDetection is the tentpole's property test: stepping
+// the engine tick by tick over random mobility mixes, the kinetic
+// candidate-filter pair set (what updateContacts consumed, left in
+// pairScratch) must equal a fresh full Grid.Pairs scan at every single
+// tick — incremental ≡ full detection, over thousands of ticks, across
+// skins, worker counts, and the disabled fallback.
+func TestKineticMatchesFullDetection(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	const nodes = 40
+	cases := []struct {
+		mix     string
+		seed    int64
+		workers int
+		skin    float64 // Config.ContactSkin: 0 auto, >0 explicit
+		kinetic bool    // expected KineticContacts state
+		ticks   int
+	}{
+		{mix: "stationary-heavy", seed: 1, workers: 1, skin: 0, kinetic: true, ticks: 1200},
+		{mix: "pedestrian", seed: 2, workers: 1, skin: 0, kinetic: true, ticks: 1200},
+		{mix: "pedestrian", seed: 3, workers: 4, skin: 60, kinetic: true, ticks: 1200},
+		// A tiny skin (just above one tick's 2·maxSpeed·step closing
+		// displacement) rebuilds near-constantly — the degenerate end of
+		// the skin trade-off must stay exact too.
+		{mix: "pedestrian", seed: 4, workers: 1, skin: 4, kinetic: true, ticks: 1000},
+		{mix: "fast-mixed", seed: 5, workers: 4, skin: 0, kinetic: true, ticks: 1200},
+		// A group member lacks a speed bound: the engine must fall back to
+		// the full per-tick scan wholesale, and equivalence still holds.
+		{mix: "group", seed: 6, workers: 1, skin: 0, kinetic: false, ticks: 1000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := tc.mix + "/" + map[bool]string{true: "kinetic", false: "fallback"}[tc.kinetic]
+		t.Run(name, func(t *testing.T) {
+			cfg := kineticMixConfig(t, tc.seed, tc.workers, tc.skin)
+			specs := mixSpecs(t, tc.mix, nodes, cfg.Area, tc.seed)
+			eng, err := NewEngine(cfg, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.KineticContacts() != tc.kinetic {
+				t.Fatalf("KineticContacts = %v, want %v", eng.KineticContacts(), tc.kinetic)
+			}
+			ctx := context.Background()
+			var want []world.Pair
+			for tick := 0; tick < tc.ticks; tick++ {
+				if err := eng.RunFor(ctx, cfg.Step); err != nil {
+					t.Fatal(err)
+				}
+				got := eng.pairScratch
+				want = eng.grid.Pairs(want[:0], cfg.Radio.Range)
+				if len(got) != len(want) {
+					t.Fatalf("tick %d: %d pairs, want %d (got %v, want %v)",
+						tick, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("tick %d: pair %d = %v, want %v", tick, i, got[i], want[i])
+					}
+				}
+			}
+			if tc.kinetic {
+				r := eng.ContactRebuilds()
+				if r == 0 {
+					t.Fatal("kinetic path never rebuilt its candidate list")
+				}
+				if r >= uint64(tc.ticks) {
+					t.Fatalf("kinetic path rebuilt every tick (%d rebuilds over %d ticks) — skin not amortising", r, tc.ticks)
+				}
+			} else if eng.ContactRebuilds() != 0 {
+				t.Fatalf("fallback path recorded %d candidate rebuilds", eng.ContactRebuilds())
+			}
+		})
+	}
+}
+
+// TestKineticDisabledBySkin pins the off switch: a negative ContactSkin
+// forces the historical per-tick scan even for fully speed-bounded
+// populations.
+func TestKineticDisabledBySkin(t *testing.T) {
+	cfg := kineticMixConfig(t, 9, 1, -1)
+	eng, err := NewEngine(cfg, mixSpecs(t, "pedestrian", 10, cfg.Area, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.KineticContacts() {
+		t.Fatal("negative ContactSkin must disable kinetic detection")
+	}
+	if eng.ContactSkin() != 0 {
+		t.Fatalf("resolved skin = %v, want 0", eng.ContactSkin())
+	}
+	if err := eng.RunFor(context.Background(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if eng.ContactRebuilds() != 0 {
+		t.Fatalf("disabled path recorded %d rebuilds", eng.ContactRebuilds())
+	}
+}
+
+// TestKineticStationaryScansOnce pins the optimization's best case: an
+// all-stationary network accumulates no displacement, so the candidate list
+// is built exactly once for the whole run.
+func TestKineticStationaryScansOnce(t *testing.T) {
+	cfg := kineticMixConfig(t, 12, 1, 0)
+	rng := sim.NewRNG(12).Fork("pins")
+	specs := make([]NodeSpec, 30)
+	for i := range specs {
+		specs[i].Profile = behavior.CooperativeProfile()
+		specs[i].Mobility = &mobility.Stationary{At: world.Point{
+			X: rng.Range(0, cfg.Area.Width), Y: rng.Range(0, cfg.Area.Height)}}
+	}
+	eng, err := NewEngine(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.KineticContacts() {
+		t.Fatal("all-stationary network must run kinetically")
+	}
+	if err := eng.RunFor(context.Background(), 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if eng.ContactRebuilds() != 1 {
+		t.Fatalf("stationary run rebuilt %d times, want exactly 1", eng.ContactRebuilds())
+	}
+	got := eng.pairScratch
+	want := eng.grid.Pairs(nil, cfg.Radio.Range)
+	if len(got) != len(want) {
+		t.Fatalf("stationary pair set = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("stationary pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"dtnsim/internal/reputation"
 	"dtnsim/internal/routing"
 	"dtnsim/internal/sim"
+	"dtnsim/internal/world"
 )
 
 // NodeSpec declares one node of the network.
@@ -52,6 +53,10 @@ type Node struct {
 	msgSeq  int
 	class   MessageClass
 	killed  bool
+	// lastPos is the position the mobility model returned on the last tick
+	// (unclamped); Engine.moveNodes skips the grid upsert when a new tick
+	// returns the identical point.
+	lastPos world.Point
 	// expiryEv is the node's pending TTL-expiry event, kept aligned with the
 	// buffer's earliest deadline by Engine.armExpiry. Nil until the first
 	// TTL-carrying message lands in the buffer.

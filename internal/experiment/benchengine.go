@@ -37,6 +37,15 @@ type EngineBenchPoint struct {
 	// the serial path during the measured window (always 0 at workers=1,
 	// where no plans are scored).
 	StalePlans uint64 `json:"stale_plans"`
+	// CandidateRebuilds counts kinetic contact-detection candidate-list
+	// rebuilds during the whole run (warmup included); 0 means the kinetic
+	// path was disabled.
+	CandidateRebuilds uint64 `json:"candidate_rebuilds"`
+	// GoMaxProcs and GoVersion identify the measurement host's schedulable
+	// CPU count and toolchain: grids recorded on different machines are not
+	// comparable, and these fields make a foreign grid recognisable.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
 }
 
 // EngineBenchGrid is the default measurement grid: the BenchmarkEngineScale
@@ -96,6 +105,9 @@ func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds int, l
 		pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
 		pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
 		pt.StalePlans = eng.StalePlans()
+		pt.CandidateRebuilds = eng.ContactRebuilds()
+		pt.GoMaxProcs = runtime.GOMAXPROCS(0)
+		pt.GoVersion = runtime.Version()
 		out = append(out, pt)
 		if log != nil {
 			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s, %.0f B/sim-s, stale=%d\n",

@@ -41,10 +41,11 @@ func kernelGoldenSpec(scheme core.Scheme) scenario.Spec {
 }
 
 // renderKernelGolden runs one scheme with the given worker count and
-// formats every figure-feeding observable deterministically. The worker
-// count deliberately does not appear in the output: any count must
-// reproduce the same bytes.
-func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int) string {
+// contact skin (0 = the automatic kinetic default, negative = kinetic
+// detection off) and formats every figure-feeding observable
+// deterministically. Neither the worker count nor the skin appears in the
+// output: any combination must reproduce the same bytes.
+func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin float64) string {
 	t.Helper()
 	spec := kernelGoldenSpec(scheme)
 	cfg, nodes, err := scenario.Build(spec)
@@ -52,6 +53,7 @@ func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int) string {
 		t.Fatal(err)
 	}
 	cfg.Workers = workers
+	cfg.ContactSkin = skin
 	var trace report.Buffer
 	cfg.Recorder = &trace
 	eng, err := core.NewEngine(cfg, nodes)
@@ -109,7 +111,7 @@ func TestKernelByteIdenticalToPollingSeed(t *testing.T) {
 	}
 	var b strings.Builder
 	for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-		b.WriteString(renderKernelGolden(t, scheme, 1))
+		b.WriteString(renderKernelGolden(t, scheme, 1, 0))
 	}
 	got := b.String()
 
@@ -161,11 +163,56 @@ func TestParallelWorkersByteIdentical(t *testing.T) {
 			t.Parallel()
 			var b strings.Builder
 			for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-				b.WriteString(renderKernelGolden(t, scheme, workers))
+				b.WriteString(renderKernelGolden(t, scheme, workers, 0))
 			}
 			if got := b.String(); got != string(want) {
 				t.Errorf("workers=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
 			}
 		})
+	}
+}
+
+// TestKineticContactsByteIdentical is kinetic contact detection's
+// determinism guard: the golden scenario with the kinetic path forced on
+// (an explicit, non-default 40 m skin) and forced off (negative skin — the
+// historical per-tick scan), each at workers 1, 2, and 8, must reproduce
+// the recorded serial golden byte for byte — all six traces. The candidate
+// list is a conservative superset filtered by the same inclusive distance
+// checks the full scan runs, so no contact-up or contact-down instant may
+// shift by even one tick.
+func TestKineticContactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour determinism runs skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "kernel_default.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-kernel-golden): %v", err)
+	}
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	for _, tc := range []struct {
+		name string
+		skin float64
+	}{
+		{"kinetic-on", 40},
+		{"kinetic-off", -1},
+	} {
+		for _, workers := range []int{1, 2, 8} {
+			tc, workers := tc, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				t.Parallel()
+				var b strings.Builder
+				for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
+					b.WriteString(renderKernelGolden(t, scheme, workers, tc.skin))
+				}
+				if got := b.String(); got != string(want) {
+					t.Errorf("%s workers=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
+						tc.name, workers, got, want)
+				}
+			})
+		}
 	}
 }

@@ -60,10 +60,17 @@ type ManhattanGrid struct {
 	speed float64
 }
 
-var _ ParallelAdvance = (*ManhattanGrid)(nil)
+var (
+	_ ParallelAdvance = (*ManhattanGrid)(nil)
+	_ SpeedBounded    = (*ManhattanGrid)(nil)
+)
 
 // ParallelAdvanceSafe implements ParallelAdvance.
 func (w *ManhattanGrid) ParallelAdvanceSafe() {}
+
+// MaxSpeed implements SpeedBounded: street legs walk at a speed drawn from
+// [MinSpeed, MaxSpeed]; turns redraw within the same range.
+func (w *ManhattanGrid) MaxSpeed() float64 { return w.cfg.MaxSpeed }
 
 // NewManhattanGrid starts a walker at a random intersection heading in a
 // random street direction.
@@ -189,7 +196,11 @@ func (c GroupConfig) Validate() error {
 	return nil
 }
 
-// GroupMember follows a shared leader model with a persistent offset.
+// GroupMember follows a shared leader model with a persistent offset. It is
+// deliberately not SpeedBounded: each step covers Snap·dt of the remaining
+// distance to the leader-side target, and that distance is unbounded (a
+// teleporting leader, or a far initial placement), so no constant per-second
+// displacement ceiling exists.
 type GroupMember struct {
 	cfg    GroupConfig
 	leader Model

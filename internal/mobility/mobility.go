@@ -21,6 +21,25 @@ type Model interface {
 	Advance(dt time.Duration) world.Point
 }
 
+// SpeedBounded marks models that can bound their displacement rate: a node
+// driven by the model never moves farther than MaxSpeed()·dt metres over any
+// Advance(dt). The engine's kinetic contact detection relies on this bound
+// to keep a conservative candidate pair list alive across ticks (see
+// DESIGN.md "Kinetic contact detection"); one model without the bound in a
+// network disables that path wholesale. Stationary models report 0.
+//
+// Waypoints deliberately does not implement SpeedBounded: it pins positions
+// at instants, so a step that crosses a pin teleports the node — the
+// effective speed depends on the tick granularity, not the model.
+// GroupMember does not either: its convergence step covers a fraction of
+// the (unbounded) distance to the leader's side.
+type SpeedBounded interface {
+	Model
+	// MaxSpeed returns an upper bound on the model's speed in m/s,
+	// constant for the model's lifetime.
+	MaxSpeed() float64
+}
+
 // ParallelAdvance marks models whose Advance touches only their own state
 // (position, leg bookkeeping, and their private RNG stream), so the engine
 // may advance different nodes' models concurrently within a step.
@@ -40,10 +59,16 @@ type Stationary struct {
 	At world.Point
 }
 
-var _ ParallelAdvance = (*Stationary)(nil)
+var (
+	_ ParallelAdvance = (*Stationary)(nil)
+	_ SpeedBounded    = (*Stationary)(nil)
+)
 
 // ParallelAdvanceSafe implements ParallelAdvance.
 func (s *Stationary) ParallelAdvanceSafe() {}
+
+// MaxSpeed implements SpeedBounded: a stationary node never moves.
+func (s *Stationary) MaxSpeed() float64 { return 0 }
 
 // Position implements Model.
 func (s *Stationary) Position() world.Point { return s.At }
@@ -103,10 +128,18 @@ type RandomWaypoint struct {
 	pause time.Duration // remaining pause before picking the next leg
 }
 
-var _ ParallelAdvance = (*RandomWaypoint)(nil)
+var (
+	_ ParallelAdvance = (*RandomWaypoint)(nil)
+	_ SpeedBounded    = (*RandomWaypoint)(nil)
+)
 
 // ParallelAdvanceSafe implements ParallelAdvance.
 func (w *RandomWaypoint) ParallelAdvanceSafe() {}
+
+// MaxSpeed implements SpeedBounded: legs walk at a speed drawn from
+// [MinSpeed, MaxSpeed] and pauses don't move, so the configured ceiling
+// bounds every step.
+func (w *RandomWaypoint) MaxSpeed() float64 { return w.cfg.MaxSpeed }
 
 // NewRandomWaypoint creates a walker starting at a uniform random position.
 func NewRandomWaypoint(cfg RandomWaypointConfig, rng *sim.RNG) (*RandomWaypoint, error) {
@@ -184,6 +217,8 @@ type TimedPoint struct {
 	P world.Point
 }
 
+// Waypoints is intentionally not SpeedBounded — crossing a pin jumps the
+// position within one step, so no per-second bound exists (see SpeedBounded).
 var _ ParallelAdvance = (*Waypoints)(nil)
 
 // ParallelAdvanceSafe implements ParallelAdvance.

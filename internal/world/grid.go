@@ -266,6 +266,47 @@ func (g *Grid) PairsRows(dst []Pair, radius float64, rowLo, rowHi int) []Pair {
 	return dst
 }
 
+// Candidates appends every unordered pair within radius+skin of each other,
+// as (lo, hi) with lo < hi, sorted lexicographically. This is the kinetic
+// contact-detection primitive: the result is a conservative superset of
+// Pairs(radius) that stays a superset while no node has moved more than
+// skin/2 since the scan, so the engine can filter it with exact distance
+// checks for many ticks instead of rescanning the grid (see DESIGN.md
+// "Kinetic contact detection"). A negative skin is treated as zero, making
+// Candidates(r, 0) ≡ Pairs(r).
+func (g *Grid) Candidates(dst []Pair, radius, skin float64) []Pair {
+	if skin < 0 {
+		skin = 0
+	}
+	return g.Pairs(dst, radius+skin)
+}
+
+// CandidatesRows is to Candidates what PairsRows is to Pairs: it appends,
+// unsorted, every candidate pair anchored in cell rows [rowLo, rowHi), and
+// the union over a row partition sorted with SortPairs reproduces Candidates
+// byte for byte. The widened radius may span more than the 3×3 cell block;
+// the scan widens its forward reach accordingly.
+func (g *Grid) CandidatesRows(dst []Pair, radius, skin float64, rowLo, rowHi int) []Pair {
+	if skin < 0 {
+		skin = 0
+	}
+	return g.PairsRows(dst, radius+skin, rowLo, rowHi)
+}
+
+// InRange reports whether nodes a and b are both present and within radius
+// of each other — the exact per-candidate check of kinetic contact
+// detection. It is read-only and safe to call concurrently with other
+// reads.
+func (g *Grid) InRange(a, b ident.NodeID, radius float64) bool {
+	if int(a) < 0 || int(a) >= len(g.cellOf) || g.cellOf[a] < 0 {
+		return false
+	}
+	if int(b) < 0 || int(b) >= len(g.cellOf) || g.cellOf[b] < 0 {
+		return false
+	}
+	return g.pos[a].Dist2(g.pos[b]) <= radius*radius
+}
+
 // Pair is an unordered node pair with Lo < Hi.
 type Pair struct {
 	Lo, Hi ident.NodeID
