@@ -381,7 +381,7 @@ func BenchmarkContactDetection(b *testing.B) {
 			grid[0].Nodes = nodes
 			// Reuse the experiment runner's engine construction but drive
 			// the timing loop through testing.B.
-			eng, err := experiment.ContactBenchEngine(grid[0], 0)
+			eng, err := experiment.ContactBenchEngine(context.Background(), grid[0], 0)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dtnsim/internal/experiment"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/prof"
 )
 
@@ -44,6 +46,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
 	runWorkers := fs.Int("workers", 1, "intra-run worker goroutines inside each simulation, capped at GOMAXPROCS (results are identical at any count)")
 	progress := fs.Bool("progress", false, "print live scheduler progress (jobs done/total, sim-s per wall-s, ETA) to stderr")
+	heartbeat := fs.Duration("heartbeat", 0, "per-run wall-clock snapshot interval: feeds the -obs export and keeps the -progress rate live during long runs; 0 disables (defaults to 1s when -progress is set)")
+	obsSpec := fs.String("obs", "", "structured observability export, format jsonl=PATH: one run_start/heartbeat/run_end JSON line per engine run, suite-wide")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "output path for the bench-engine measurement grid")
@@ -91,6 +95,36 @@ func run(args []string) error {
 		stop := pr.Start(os.Stderr, time.Second)
 		defer stop()
 	}
+
+	obsv := experiment.Observation{Heartbeat: *heartbeat}
+	if *progress && obsv.Heartbeat == 0 {
+		// Keep the live rate moving during long runs, not only at job ends.
+		obsv.Heartbeat = time.Second
+	}
+	var jsonlSink *obs.JSONLSink
+	if *obsSpec != "" {
+		path, ok := strings.CutPrefix(*obsSpec, "jsonl=")
+		if !ok || path == "" {
+			return fmt.Errorf("invalid -obs spec %q (want jsonl=PATH)", *obsSpec)
+		}
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		jsonlSink = obs.NewJSONLSink(f)
+		obsv.Observers = append(obsv.Observers, jsonlSink)
+	}
+	if obsv.Heartbeat > 0 || len(obsv.Observers) > 0 {
+		ctx = experiment.WithObservation(ctx, obsv)
+	}
+	defer func() {
+		if jsonlSink != nil {
+			if werr := jsonlSink.Err(); werr != nil {
+				fmt.Fprintln(os.Stderr, "dtnexp: obs export:", werr)
+			}
+		}
+	}()
 
 	runners := map[string]func() error{
 		"table5.1": func() error {

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/prof"
 	"dtnsim/internal/report"
 	"dtnsim/internal/scenario"
@@ -51,6 +53,8 @@ func run(args []string) error {
 		battery   = fs.Float64("battery", 0, "per-node radio energy budget in joules (0 = unlimited)")
 		workers   = fs.Int("workers", 1, "intra-run worker goroutines for the parallel step pipeline, capped at GOMAXPROCS (results are identical at any count)")
 		skin      = fs.Float64("skin", 0, "kinetic contact-detection skin in metres (0 = auto, a quarter of the radio range; negative forces the full per-tick scan; results are identical at any value)")
+		heartbeat = fs.Duration("heartbeat", 0, "wall-clock heartbeat interval: print a live progress snapshot (sim/wall position, rates, per-phase timers) on this cadence; 0 disables")
+		obsSpec   = fs.String("obs", "", "structured observability export, format jsonl=PATH: write run_start/heartbeat/run_end snapshots as JSON lines")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
@@ -104,7 +108,7 @@ func run(args []string) error {
 		fmt.Printf("replaying %d recorded contacts (max node %v, span %v)\n",
 			sched.Len(), sched.MaxNode(), sched.Duration().Round(time.Second))
 	}
-	var recorders report.Multi
+	var haveTrace bool
 	var stats *report.ContactStats
 	for _, sink := range []struct {
 		path string
@@ -121,13 +125,31 @@ func run(args []string) error {
 			return ferr
 		}
 		defer f.Close()
-		recorders = append(recorders, sink.make(f))
+		cfg.Observers = append(cfg.Observers, obs.Record(sink.make(f)))
+		haveTrace = true
 	}
-	if len(recorders) > 0 {
+	if haveTrace {
 		stats = report.NewContactStats()
-		recorders = append(recorders, stats)
-		cfg.Recorder = recorders
+		cfg.Observers = append(cfg.Observers, obs.Record(stats))
 	}
+	var jsonlSink *obs.JSONLSink
+	if *obsSpec != "" {
+		path, ok := strings.CutPrefix(*obsSpec, "jsonl=")
+		if !ok || path == "" {
+			return fmt.Errorf("invalid -obs spec %q (want jsonl=PATH)", *obsSpec)
+		}
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		jsonlSink = obs.NewJSONLSink(f)
+		cfg.Observers = append(cfg.Observers, jsonlSink)
+	}
+	if *heartbeat > 0 {
+		cfg.Observers = append(cfg.Observers, obs.NewLogSink(os.Stderr))
+	}
+	cfg.Heartbeat = *heartbeat
 
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {
@@ -149,6 +171,11 @@ func run(args []string) error {
 	if stats != nil {
 		fmt.Printf("contacts:   %d completed, mean duration %v\n",
 			stats.Completed(), stats.MeanDuration().Round(time.Second))
+	}
+	if jsonlSink != nil {
+		if werr := jsonlSink.Err(); werr != nil {
+			return fmt.Errorf("obs export: %w", werr)
+		}
 	}
 	return nil
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dtnsim/internal/obs"
 )
 
 func TestRunTinySimulation(t *testing.T) {
@@ -29,6 +33,84 @@ func TestRunTinySimulation(t *testing.T) {
 		}
 		if len(data) == 0 {
 			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestRunObservabilityExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "obs.jsonl")
+	err := run([]string{
+		"-nodes", "30",
+		"-area", "0.3",
+		"-duration", "30m",
+		"-heartbeat", "1ms", // fires on nearly every tick
+		"-obs", "jsonl=" + out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	type line struct {
+		Type     string        `json:"type"`
+		Meta     *obs.Meta     `json:"meta"`
+		Snapshot *obs.Snapshot `json:"snapshot"`
+	}
+	var types []string
+	var last line
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var l line
+		if jerr := json.Unmarshal(sc.Bytes(), &l); jerr != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), jerr)
+		}
+		types = append(types, l.Type)
+		last = l
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(types) < 3 {
+		t.Fatalf("want at least run_start + heartbeat + run_end, got %v", types)
+	}
+	if types[0] != "run_start" || last.Type != "run_end" {
+		t.Errorf("want run_start first and run_end last, got %v", types)
+	}
+	hb := 0
+	for _, ty := range types[1 : len(types)-1] {
+		if ty != "heartbeat" {
+			t.Errorf("interior line has type %q, want heartbeat", ty)
+		}
+		hb++
+	}
+	if hb == 0 {
+		t.Error("no heartbeat lines emitted")
+	}
+	if last.Meta != nil || types[0] == "run_start" && last.Snapshot == nil {
+		t.Fatalf("run_end line malformed: %+v", last)
+	}
+	snap := *last.Snapshot
+	if snap.SimSeconds != 1800 {
+		t.Errorf("run_end sim_seconds = %v, want 1800", snap.SimSeconds)
+	}
+	if snap.Steps == 0 || snap.Events == 0 {
+		t.Errorf("run_end snapshot missing progress: steps=%d events=%d", snap.Steps, snap.Events)
+	}
+	// Acceptance: the phase timers account for (nearly) the whole run.
+	if sum := snap.PhaseSum(); sum < 0.95*snap.WallSeconds || sum > snap.WallSeconds*1.001 {
+		t.Errorf("phase sum %.6fs outside 5%% of wall clock %.6fs", sum, snap.WallSeconds)
+	}
+}
+
+func TestRunRejectsBadObsSpec(t *testing.T) {
+	for _, spec := range []string{"jsonl=", "csv=/tmp/x", "bogus"} {
+		if err := run([]string{"-nodes", "5", "-area", "0.1", "-duration", "1m", "-obs", spec}); err == nil {
+			t.Errorf("run with -obs %q should fail", spec)
 		}
 	}
 }

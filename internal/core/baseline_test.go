@@ -8,6 +8,7 @@ import (
 	"dtnsim/internal/behavior"
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 )
 
@@ -23,7 +24,7 @@ func TestBaselineTransmitsFIFO(t *testing.T) {
 			{Profile: behavior.CooperativeProfile(), Mobility: stationary(180, 100), Interests: []string{"kw-0", "kw-1"}},
 		}
 		var buf report.Buffer
-		cfg.Recorder = &buf
+		cfg.Observers = []obs.Observer{obs.Record(&buf)}
 		eng, err := core.NewEngine(cfg, specs)
 		if err != nil {
 			t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"dtnsim/internal/buffer"
 	"dtnsim/internal/incentive"
 	"dtnsim/internal/interest"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/radio"
 	"dtnsim/internal/report"
 	"dtnsim/internal/reputation"
@@ -155,8 +156,23 @@ type Config struct {
 	BatteryJoules float64
 	// Workload drives message generation.
 	Workload WorkloadConfig
+	// Observers subscribe to the run through the unified observer API:
+	// every report.Event in emission order (filtered per obs.KindFilter),
+	// run start/end, and — when Heartbeat is set — periodic snapshots.
+	// With no observers attached the engine keeps the historical nil fast
+	// path: events cost one length check and traces stay byte-identical.
+	Observers []obs.Observer
+	// Heartbeat, when positive, emits an obs.Snapshot to every observer on
+	// this wall-clock interval (checked after the tick that crosses it).
+	// Zero disables heartbeats.
+	Heartbeat time.Duration
 	// Recorder, when non-nil, receives the run's event trace (contacts,
 	// handovers, deliveries, payments, enrichment) for the report writers.
+	// It is adapted onto the observer API via obs.Record and runs after
+	// any Observers.
+	//
+	// Deprecated: append obs.Record(r) — or a full obs.Observer — to
+	// Observers instead.
 	Recorder report.Recorder
 	// ContactTrace, when non-nil, replays recorded connectivity instead of
 	// deriving contacts from mobility and radio range; node IDs in the
@@ -210,6 +226,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: gossip limit must be non-negative, got %d", c.GossipLimit)
 	case c.GossipInterval < 0:
 		return fmt.Errorf("core: gossip interval must be non-negative, got %v", c.GossipInterval)
+	case c.RatingSampleInterval < 0:
+		return fmt.Errorf("core: rating sample interval must be non-negative, got %v", c.RatingSampleInterval)
+	case c.MessageTTL < 0:
+		return fmt.Errorf("core: message TTL must be non-negative, got %v", c.MessageTTL)
+	case c.Heartbeat < 0:
+		return fmt.Errorf("core: heartbeat interval must be non-negative, got %v", c.Heartbeat)
 	case c.Area.Width <= 0 || c.Area.Height <= 0:
 		return fmt.Errorf("core: area must have positive size")
 	case c.BatteryJoules < 0:

@@ -12,6 +12,7 @@ import (
 	"dtnsim/internal/interest"
 	"dtnsim/internal/metrics"
 	"dtnsim/internal/mobility"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/routing"
 	"dtnsim/internal/sim"
@@ -56,9 +57,6 @@ type Engine struct {
 	posScratch   []world.Point
 	pairBufs     [][]world.Pair
 	dueScratch   []*contact
-	// stalePlans counts exchange plans discarded because an earlier contact
-	// in the same tick's serial pass mutated a table the plan had read.
-	stalePlans uint64
 
 	// Kinetic contact detection (see DESIGN.md "Kinetic contact
 	// detection"): while every mobility model is speed-bounded, the engine
@@ -73,7 +71,22 @@ type Engine struct {
 	kinTraveled float64
 	kinPrimed   bool
 	kinCands    []world.Pair
-	kinRebuilds uint64
+
+	// Observability (see observability.go): the registry behind
+	// Engine.Snapshot(), hot-path counter handles, the per-kind observer
+	// dispatch table, and the run's wall-clock / heartbeat bookkeeping.
+	reg        *obs.Registry
+	ctrUps     *obs.Counter
+	ctrDowns   *obs.Counter
+	ctrStale   *obs.Counter
+	ctrRebuild *obs.Counter
+	ctrSamples *obs.Counter
+	observers  []obs.Observer
+	obsByKind  [][]obs.Observer
+	nEvents    uint64
+	started    bool
+	wallStart  time.Time
+	hbLast     time.Time
 
 	// agenda schedules per-contact periodic work (exchange and gossip
 	// rounds). It is drained at the head of each tick's contact pass — not
@@ -146,6 +159,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		workers:     sim.NewWorkers(cfg.Workers),
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
 	}
+	e.initObservability(cfg)
 	if s, ok := router.(*routing.SprayAndWait); ok {
 		e.spray = s
 	}
@@ -226,8 +240,10 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 // firing step may land later when the step doesn't divide the interval).
 func (e *Engine) scheduleSample(due time.Duration) {
 	e.runner.SchedulePost(due, func(at time.Duration) {
+		t := time.Now()
 		e.sampleMaliciousRating(at)
 		e.scheduleSample(nextDeadline(at, e.cfg.RatingSampleInterval, e.runner.Clock().Now()))
+		e.reg.AddPhase(obs.PhaseEvents, time.Since(t))
 	})
 }
 
@@ -249,8 +265,10 @@ func (e *Engine) armExpiry(n *Node) {
 	switch {
 	case n.expiryEv == nil:
 		n.expiryEv = e.runner.Schedule(at, func(time.Duration) {
+			t := time.Now()
 			n.buf.ExpireAt(e.runner.Clock().Now())
 			e.armExpiry(n)
+			e.reg.AddPhase(obs.PhaseEvents, time.Since(t))
 		})
 	case !n.expiryEv.Active() || n.expiryEv.At() != at:
 		n.expiryEv.Reschedule(at)
@@ -297,19 +315,17 @@ func (e *Engine) Collector() *metrics.Collector { return e.collector }
 // Ledger exposes the token ledger.
 func (e *Engine) Ledger() *incentive.Ledger { return e.ledger }
 
-// record forwards an event to the configured recorder, if any.
-func (e *Engine) record(ev report.Event) {
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(ev)
-	}
-}
-
-// Run executes the configured duration and returns the run result.
+// Run executes the configured duration and returns the run result. It
+// fires RunStart on the first call that advances time and RunEnd (with the
+// final snapshot) when the configured duration completes.
 func (e *Engine) Run(ctx context.Context) (Result, error) {
+	e.startRun()
 	if _, err := e.runner.Run(ctx, e.cfg.Duration); err != nil {
 		return Result{}, err
 	}
-	return e.result(), nil
+	res := e.result()
+	e.endRun()
+	return res, nil
 }
 
 // RunFor advances the simulation by d without producing a final result;
@@ -317,6 +333,7 @@ func (e *Engine) Run(ctx context.Context) (Result, error) {
 // through the runner's single stepping loop, so cancellation and step
 // accounting behave identically to Run.
 func (e *Engine) RunFor(ctx context.Context, d time.Duration) error {
+	e.startRun()
 	_, err := e.runner.RunUntil(ctx, e.runner.Clock().Now()+d)
 	return err
 }
@@ -366,14 +383,22 @@ func (e *Engine) result() Result {
 // Everything else that used to be polled here — workload injection, TTL
 // expiry, rating sampling — is event-scheduled on the runner: injections
 // and expiries fire before the tick, the sampler observes after it.
+//
+// Each region feeds its wall-clock time to the registry's phase timers
+// (obs.PhaseMove here; updateContacts and progressContacts attribute their
+// own regions), and the tick ends with the heartbeat check so a heartbeat
+// always observes a completed step.
 func (e *Engine) tick(now time.Duration) {
 	e.tickNo++
+	t := time.Now()
 	if e.traceCursor == nil {
 		// Trace replays define connectivity directly; geometry is moot.
 		e.moveNodes()
 	}
+	e.reg.AddPhase(obs.PhaseMove, time.Since(t))
 	e.updateContacts(now)
 	e.progressContacts(now)
+	e.maybeHeartbeat()
 }
 
 // nextDeadline advances a periodic deadline by whole intervals until it
@@ -447,7 +472,7 @@ func (e *Engine) detectPairs(dst []world.Pair) []world.Pair {
 		e.kinCands = e.scanCandidates(e.kinCands[:0])
 		e.kinTraveled = 0
 		e.kinPrimed = true
-		e.kinRebuilds++
+		e.ctrRebuild.Inc()
 	}
 	return e.filterCandidates(dst)
 }
@@ -547,13 +572,18 @@ func (e *Engine) filterCandidates(dst []world.Pair) []world.Pair {
 
 // updateContacts diffs the in-range pair set against the live contact set,
 // creating and tearing down contacts. In trace mode the pair set comes from
-// the replay cursor instead of the spatial grid.
+// the replay cursor instead of the spatial grid (the whole replay advance
+// is attributed to the contacts phase; there is no geometric detection).
 func (e *Engine) updateContacts(now time.Duration) {
+	t := time.Now()
 	if e.traceCursor != nil {
 		e.updateTraceContacts(now)
+		e.reg.AddPhase(obs.PhaseContacts, time.Since(t))
 		return
 	}
 	e.pairScratch = e.detectPairs(e.pairScratch[:0])
+	t2 := time.Now()
+	e.reg.AddPhase(obs.PhaseDetect, t2.Sub(t))
 	for _, p := range e.pairScratch {
 		if c, ok := e.contacts[p]; ok {
 			c.seen = e.tickNo
@@ -572,6 +602,7 @@ func (e *Engine) updateContacts(now time.Duration) {
 		live = append(live, c)
 	}
 	e.contactList = live
+	e.reg.AddPhase(obs.PhaseContacts, time.Since(t2))
 }
 
 // updateTraceContacts advances the replay cursor and mirrors its up/down
@@ -611,6 +642,7 @@ func (e *Engine) updateTraceContacts(now time.Duration) {
 }
 
 func (e *Engine) contactUp(p world.Pair, now time.Duration) {
+	e.ctrUps.Inc()
 	a, b := e.nodes[p.Lo], e.nodes[p.Hi]
 	c := &contact{pair: p, a: a, b: b, seen: e.tickNo, startedAt: now, exchangedAt: now}
 	// The selfish model: "a selfish node has its communication medium open
@@ -659,6 +691,7 @@ func (e *Engine) contactDown(c *contact) {
 	if !c.open {
 		return
 	}
+	e.ctrDowns.Inc()
 	now := e.runner.Clock().Now()
 	e.record(report.Event{At: now, Kind: report.ContactDown, A: c.a.id, B: c.b.id})
 	if c.active != nil {
@@ -702,7 +735,10 @@ func removeContact(list []*contact, c *contact) []*contact {
 // due round (the cancel wins), and flags are consumed in the same
 // deterministic order the old per-contact poll used.
 func (e *Engine) progressContacts(now time.Duration) {
+	t := time.Now()
 	e.agenda.RunDue(now)
+	t2 := time.Now()
+	e.reg.AddPhase(obs.PhaseEvents, t2.Sub(t))
 	e.scoreExchanges(now)
 	for _, c := range e.contactList {
 		if !c.open || c.dead {
@@ -725,6 +761,7 @@ func (e *Engine) progressContacts(now time.Duration) {
 		}
 		e.progressTransfer(c, now)
 	}
+	e.reg.AddPhase(obs.PhaseExchange, time.Since(t2))
 }
 
 // scoreExchanges is the parallel half of the exchange rounds: after the
@@ -759,11 +796,6 @@ func (e *Engine) scoreExchanges(now time.Duration) {
 	})
 }
 
-// StalePlans reports how many pre-scored exchange plans were discarded for
-// staleness over the run so far (zero when running serially). Benchmarks
-// read it to confirm the optimistic scoring mostly sticks.
-func (e *Engine) StalePlans() uint64 { return e.stalePlans }
-
 // Workers reports the effective intra-run worker count — Config.Workers
 // after sim.NewWorkers' GOMAXPROCS clamp. 1 means the serial fast paths.
 func (e *Engine) Workers() int { return e.workers.N() }
@@ -776,9 +808,3 @@ func (e *Engine) KineticContacts() bool { return e.kinSkin > 0 }
 // ContactSkin reports the resolved kinetic skin in metres; 0 means the
 // kinetic path is disabled.
 func (e *Engine) ContactSkin() float64 { return e.kinSkin }
-
-// ContactRebuilds reports how many times the kinetic candidate list was
-// rebuilt from the grid over the run so far. Benchmarks read it to confirm
-// the skin is actually amortising scans (stationary scenarios rebuild
-// exactly once).
-func (e *Engine) ContactRebuilds() uint64 { return e.kinRebuilds }

@@ -30,7 +30,7 @@ func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
 			c.plan.Apply()
 			applied = true
 		} else {
-			e.stalePlans++
+			e.ctrStale.Inc()
 		}
 	}
 	if !applied {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dtnsim/internal/core"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/scenario"
 	"dtnsim/internal/sim"
@@ -35,7 +36,7 @@ func TestEconomicInvariants(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf report.Buffer
-		cfg.Recorder = &buf
+		cfg.Observers = []obs.Observer{obs.Record(&buf)}
 		eng, err := core.NewEngine(cfg, specs)
 		if err != nil {
 			t.Fatal(err)
@@ -87,7 +88,7 @@ func TestContactEventsBalance(t *testing.T) {
 	}
 	var buf report.Buffer
 	stats := report.NewContactStats()
-	cfg.Recorder = report.Multi{&buf, stats}
+	cfg.Observers = []obs.Observer{obs.Record(report.Multi{&buf, stats})}
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestDeliveredMessagesCarryValidPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf report.Buffer
-	cfg.Recorder = &buf
+	cfg.Observers = []obs.Observer{obs.Record(&buf)}
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"dtnsim/internal/obs"
+	"dtnsim/internal/report"
+)
+
+// This file is the engine's side of the unified observer API (see
+// internal/obs): observer wiring and per-kind event dispatch, the
+// run-start / heartbeat / run-end lifecycle, and Engine.Snapshot() — the
+// uniform view over the registry's counters and per-tick-phase timers that
+// replaced the one-off accessor grab-bag.
+//
+// Counter names exported through Snapshot:
+//
+//	contacts_up         contacts raised (open or refused)
+//	contacts_down       open contacts torn down
+//	stale_plans         pre-scored exchange plans discarded as stale
+//	candidate_rebuilds  kinetic candidate-list rebuilds
+//	rating_samples      Figure 5.4 rating samples taken
+//
+// Phase names and their attribution are documented on obs.Phase and in
+// DESIGN.md "Observability".
+
+// initObservability builds the registry, the hot-path counter handles, and
+// the per-kind observer dispatch table. Config.Observers come first, in
+// order; a legacy Config.Recorder is adapted via obs.Record and appended
+// last, so the recorder sees the exact stream it saw before the observer
+// API existed.
+func (e *Engine) initObservability(cfg Config) {
+	e.reg = obs.NewRegistry()
+	e.ctrUps = e.reg.Counter("contacts_up")
+	e.ctrDowns = e.reg.Counter("contacts_down")
+	e.ctrStale = e.reg.Counter("stale_plans")
+	e.ctrRebuild = e.reg.Counter("candidate_rebuilds")
+	e.ctrSamples = e.reg.Counter("rating_samples")
+
+	e.observers = append([]obs.Observer(nil), cfg.Observers...)
+	if cfg.Recorder != nil {
+		e.observers = append(e.observers, obs.Record(cfg.Recorder))
+	}
+	e.obsByKind = make([][]obs.Observer, int(report.TagAdded)+1)
+	for _, o := range e.observers {
+		kinds := report.AllKinds()
+		if f, ok := o.(obs.KindFilter); ok {
+			if ks := f.Kinds(); ks != nil {
+				kinds = ks
+			}
+		}
+		for _, k := range kinds {
+			if i := int(k); i > 0 && i < len(e.obsByKind) {
+				e.obsByKind[i] = append(e.obsByKind[i], o)
+			}
+		}
+	}
+}
+
+// record forwards an event to the observers subscribed to its kind. With
+// nothing attached this is the historical nil fast path: one counter
+// increment and one empty-slice length check.
+func (e *Engine) record(ev report.Event) {
+	e.nEvents++
+	if subs := e.obsByKind[ev.Kind]; len(subs) != 0 {
+		for _, o := range subs {
+			o.Event(ev)
+		}
+	}
+}
+
+// startRun marks the wall-clock origin and fires RunStart exactly once,
+// however the run is driven (Run or interleaved RunFor segments).
+func (e *Engine) startRun() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.wallStart = time.Now()
+	e.hbLast = e.wallStart
+	if len(e.observers) == 0 {
+		return
+	}
+	m := obs.Meta{
+		Nodes:           len(e.nodes),
+		Scheme:          e.cfg.Scheme.String(),
+		Seed:            e.cfg.Seed,
+		StepSeconds:     e.cfg.Step.Seconds(),
+		DurationSeconds: e.cfg.Duration.Seconds(),
+		Workers:         e.workers.N(),
+		Kinetic:         e.kinSkin > 0,
+	}
+	for _, o := range e.observers {
+		o.RunStart(m)
+	}
+}
+
+// maybeHeartbeat emits a snapshot to every observer when the configured
+// wall-clock interval has elapsed. It runs at the tail of every tick, so a
+// heartbeat observes a completed step; with heartbeats disabled (or no
+// observers) the cost is a single comparison. Emission time (snapshot
+// build plus observer callbacks) is charged to PhaseEvents so the phase
+// totals keep accounting for the run's wall clock even under aggressive
+// heartbeat intervals.
+func (e *Engine) maybeHeartbeat() {
+	if e.cfg.Heartbeat <= 0 || len(e.observers) == 0 {
+		return
+	}
+	if time.Since(e.hbLast) < e.cfg.Heartbeat {
+		return
+	}
+	t := time.Now()
+	e.hbLast = t
+	snap := e.Snapshot()
+	for _, o := range e.observers {
+		o.Heartbeat(snap)
+	}
+	e.reg.AddPhase(obs.PhaseEvents, time.Since(t))
+}
+
+// endRun fires RunEnd with the final snapshot; Engine.Run calls it once
+// after the configured duration completes.
+func (e *Engine) endRun() {
+	if len(e.observers) == 0 {
+		return
+	}
+	snap := e.Snapshot()
+	for _, o := range e.observers {
+		o.RunEnd(snap)
+	}
+}
+
+// Snapshot returns the uniform observability view of the run so far:
+// sim-time and wall-time positions, throughput rates, every named counter,
+// and the per-tick-phase wall-clock totals. It is cheap enough for
+// periodic probing (a few small allocations) and is the single surface
+// behind the heartbeat, the CLIs' structured export, and the bench
+// runners' phase columns.
+func (e *Engine) Snapshot() obs.Snapshot {
+	var wall time.Duration
+	if e.started {
+		wall = time.Since(e.wallStart)
+	}
+	return e.reg.Snapshot(e.runner.Clock().Now(), wall, e.tickNo, e.nEvents)
+}
+
+// StalePlans reports how many pre-scored exchange plans were discarded for
+// staleness over the run so far (zero when running serially). It delegates
+// to Snapshot(); new code should read the "stale_plans" counter there.
+func (e *Engine) StalePlans() uint64 { return e.Snapshot().Counter("stale_plans") }
+
+// ContactRebuilds reports how many times the kinetic candidate list was
+// rebuilt from the grid over the run so far (stationary scenarios rebuild
+// exactly once). It delegates to Snapshot(); new code should read the
+// "candidate_rebuilds" counter there.
+func (e *Engine) ContactRebuilds() uint64 { return e.Snapshot().Counter("candidate_rebuilds") }

@@ -9,6 +9,7 @@ import (
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/mobility"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/scenario"
 	"dtnsim/internal/sim"
@@ -34,7 +35,7 @@ func runTrace(t *testing.T, spec scenario.Spec, workers int, mutate func([]core.
 		mutate(specs)
 	}
 	var buf report.Buffer
-	cfg.Recorder = &buf
+	cfg.Observers = []obs.Observer{obs.Record(&buf)}
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {
 		t.Fatal(err)

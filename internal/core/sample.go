@@ -23,5 +23,6 @@ func (e *Engine) sampleMaliciousRating(now time.Duration) {
 	if count == 0 {
 		return
 	}
+	e.ctrSamples.Inc()
 	e.collector.SampleMaliciousRating(now, sum/float64(count))
 }

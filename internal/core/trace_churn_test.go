@@ -33,6 +33,8 @@ func TestTraceChurnReencounterSamePair(t *testing.T) {
 	cfg.Step = 10 * time.Second
 	cfg.ContactTrace = sched
 	cfg.Duration = 40 * time.Second
+	// Deliberately uses the deprecated Config.Recorder path: this is the
+	// coverage for the legacy adapter (obs.Record wiring inside NewEngine).
 	cfg.Recorder = rec
 	specs := []core.NodeSpec{
 		{Profile: behavior.CooperativeProfile(), Mobility: stationary(0, 0)},

@@ -9,6 +9,7 @@ import (
 	"dtnsim/internal/behavior"
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/trace"
 )
@@ -81,7 +82,7 @@ func TestRecordReplayContactsMatch(t *testing.T) {
 	stats := report.NewContactStats()
 	cfg := lineConfig(t, core.SchemeChitChat)
 	cfg.Duration = 15 * time.Minute
-	cfg.Recorder = report.Multi{conn, stats}
+	cfg.Observers = []obs.Observer{obs.Record(report.Multi{conn, stats})}
 	eng, err := core.NewEngine(cfg, lineSpecs())
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +103,7 @@ func TestRecordReplayContactsMatch(t *testing.T) {
 	cfg2 := lineConfig(t, core.SchemeChitChat)
 	cfg2.Duration = 16 * time.Minute
 	cfg2.ContactTrace = sched
-	cfg2.Recorder = replayStats
+	cfg2.Observers = []obs.Observer{obs.Record(replayStats)}
 	eng2, err := core.NewEngine(cfg2, lineSpecs())
 	if err != nil {
 		t.Fatal(err)

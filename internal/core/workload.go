@@ -7,6 +7,7 @@ import (
 	"dtnsim/internal/behavior"
 	"dtnsim/internal/enrich"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 )
 
@@ -126,8 +127,10 @@ func (e *Engine) scheduleNextMessage(n *Node) {
 		return
 	}
 	e.runner.Schedule(at, func(time.Duration) {
+		t := time.Now()
 		e.originate(n, e.runner.Clock().Now())
 		e.scheduleNextMessage(n)
+		e.reg.AddPhase(obs.PhaseEvents, time.Since(t))
 	})
 }
 

@@ -43,6 +43,11 @@ type ContactBenchPoint struct {
 	MsPerSimSecond float64 `json:"ms_per_sim_second"`
 	// BytesPerSimSecond is heap allocation per simulated second.
 	BytesPerSimSecond float64 `json:"bytes_per_sim_second"`
+	// PhaseMsPerSimSecond maps each tick phase (move, detect, contacts,
+	// exchange, events) to wall milliseconds per simulated second over the
+	// measured window (see EngineBenchPoint). The detect column is the one
+	// this bench exists for: kinetic-on vs -off points differ there.
+	PhaseMsPerSimSecond map[string]float64 `json:"phase_ms_per_sim_second"`
 	// CandidateRebuilds counts candidate-list rebuilds over warmup plus the
 	// measured window (0 when kinetic detection is off; exactly 1 for
 	// stationary scenarios).
@@ -99,8 +104,9 @@ func contactBenchPopulation(pt ContactBenchPoint, area world.Rect, seed int64, s
 // density and behaviour mix with the point's mobility regime swapped in,
 // kinetic detection on or off per pt.Kinetic. skin overrides the candidate
 // slack in metres for kinetic points (0 = the engine's automatic
-// quarter-range). Shared by ContactBench and BenchmarkContactDetection.
-func ContactBenchEngine(pt ContactBenchPoint, skin float64) (*core.Engine, error) {
+// quarter-range); the context's observation spec (WithObservation) is
+// applied. Shared by ContactBench and BenchmarkContactDetection.
+func ContactBenchEngine(ctx context.Context, pt ContactBenchPoint, skin float64) (*core.Engine, error) {
 	spec := scenario.Default(core.SchemeIncentive)
 	spec.Nodes = pt.Nodes
 	spec.AreaKm2 = float64(pt.Nodes) / 100
@@ -122,6 +128,7 @@ func ContactBenchEngine(pt ContactBenchPoint, skin float64) (*core.Engine, error
 	if err != nil {
 		return nil, err
 	}
+	applyObservation(ctx, &cfg)
 	return core.NewEngine(cfg, pop)
 }
 
@@ -138,7 +145,7 @@ func ContactBench(ctx context.Context, grid []ContactBenchPoint, simSeconds int,
 	}
 	out := make([]ContactBenchPoint, 0, len(grid))
 	for _, pt := range grid {
-		eng, err := ContactBenchEngine(pt, skin)
+		eng, err := ContactBenchEngine(ctx, pt, skin)
 		if err != nil {
 			return nil, err
 		}
@@ -148,25 +155,29 @@ func ContactBench(ctx context.Context, grid []ContactBenchPoint, simSeconds int,
 
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
+		warm := eng.Snapshot()
 		start := time.Now()
 		if err := eng.RunFor(ctx, time.Duration(simSeconds)*time.Second); err != nil {
 			return nil, err
 		}
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
+		window := eng.Snapshot().Sub(warm)
 
 		pt.EffectiveWorkers = eng.Workers()
 		pt.SkinM = eng.ContactSkin()
 		pt.SimSeconds = float64(simSeconds)
 		pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
 		pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
+		pt.PhaseMsPerSimSecond = phaseColumns(window, pt.SimSeconds)
 		pt.CandidateRebuilds = eng.ContactRebuilds()
 		pt.GoMaxProcs = runtime.GOMAXPROCS(0)
 		pt.GoVersion = runtime.Version()
 		out = append(out, pt)
 		if log != nil {
-			fmt.Fprintf(log, "bench-contacts %s nodes=%d kinetic=%t skin=%.1fm: %.2f ms/sim-s, %.0f B/sim-s, rebuilds=%d\n",
-				pt.Scenario, pt.Nodes, pt.Kinetic, pt.SkinM, pt.MsPerSimSecond, pt.BytesPerSimSecond, pt.CandidateRebuilds)
+			fmt.Fprintf(log, "bench-contacts %s nodes=%d kinetic=%t skin=%.1fm: %.2f ms/sim-s (detect %.2f), %.0f B/sim-s, rebuilds=%d\n",
+				pt.Scenario, pt.Nodes, pt.Kinetic, pt.SkinM, pt.MsPerSimSecond,
+				pt.PhaseMsPerSimSecond["detect"], pt.BytesPerSimSecond, pt.CandidateRebuilds)
 		}
 	}
 	return out, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dtnsim/internal/core"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/scenario"
 )
 
@@ -33,6 +34,11 @@ type EngineBenchPoint struct {
 	MsPerSimSecond float64 `json:"ms_per_sim_second"`
 	// BytesPerSimSecond is heap allocation per simulated second.
 	BytesPerSimSecond float64 `json:"bytes_per_sim_second"`
+	// PhaseMsPerSimSecond maps each tick phase (move, detect, contacts,
+	// exchange, events) to wall milliseconds spent per simulated second
+	// over the measured window — the per-phase decomposition of
+	// MsPerSimSecond, taken from the engine's obs.Snapshot timers.
+	PhaseMsPerSimSecond map[string]float64 `json:"phase_ms_per_sim_second"`
 	// StalePlans counts optimistic exchange plans that had to fall back to
 	// the serial path during the measured window (always 0 at workers=1,
 	// where no plans are scored).
@@ -83,6 +89,7 @@ func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds int, l
 			return nil, err
 		}
 		cfg.MessageTTL = 30 * time.Minute
+		applyObservation(ctx, &cfg)
 		eng, err := core.NewEngine(cfg, pop)
 		if err != nil {
 			return nil, err
@@ -93,28 +100,42 @@ func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds int, l
 
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
+		warm := eng.Snapshot()
 		start := time.Now()
 		if err := eng.RunFor(ctx, time.Duration(simSeconds)*time.Second); err != nil {
 			return nil, err
 		}
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
+		window := eng.Snapshot().Sub(warm)
 
 		pt.EffectiveWorkers = eng.Workers()
 		pt.SimSeconds = float64(simSeconds)
 		pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
 		pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
+		pt.PhaseMsPerSimSecond = phaseColumns(window, pt.SimSeconds)
 		pt.StalePlans = eng.StalePlans()
 		pt.CandidateRebuilds = eng.ContactRebuilds()
 		pt.GoMaxProcs = runtime.GOMAXPROCS(0)
 		pt.GoVersion = runtime.Version()
 		out = append(out, pt)
 		if log != nil {
-			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s, %.0f B/sim-s, stale=%d\n",
-				pt.Nodes, pt.Workers, pt.EffectiveWorkers, pt.MsPerSimSecond, pt.BytesPerSimSecond, pt.StalePlans)
+			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s (exchange %.2f), %.0f B/sim-s, stale=%d\n",
+				pt.Nodes, pt.Workers, pt.EffectiveWorkers, pt.MsPerSimSecond,
+				pt.PhaseMsPerSimSecond["exchange"], pt.BytesPerSimSecond, pt.StalePlans)
 		}
 	}
 	return out, nil
+}
+
+// phaseColumns renders a measured window's per-phase timers as wall
+// milliseconds per simulated second, the unit the bench grids record.
+func phaseColumns(window obs.Snapshot, simSeconds float64) map[string]float64 {
+	cols := make(map[string]float64, len(window.Phases))
+	for _, p := range window.Phases {
+		cols[p.Name] = p.Seconds * 1000 / simSeconds
+	}
+	return cols
 }
 
 // WriteEngineBench renders the measured grid as the committed

@@ -13,6 +13,7 @@ import (
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/scenario"
 )
@@ -44,8 +45,9 @@ func kernelGoldenSpec(scheme core.Scheme) scenario.Spec {
 // contact skin (0 = the automatic kinetic default, negative = kinetic
 // detection off) and formats every figure-feeding observable
 // deterministically. Neither the worker count nor the skin appears in the
-// output: any combination must reproduce the same bytes.
-func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin float64) string {
+// output: any combination must reproduce the same bytes. Extra no-op
+// observers may be attached; they must never change the bytes either.
+func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin float64, extra ...obs.Observer) string {
 	t.Helper()
 	spec := kernelGoldenSpec(scheme)
 	cfg, nodes, err := scenario.Build(spec)
@@ -55,7 +57,7 @@ func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin floa
 	cfg.Workers = workers
 	cfg.ContactSkin = skin
 	var trace report.Buffer
-	cfg.Recorder = &trace
+	cfg.Observers = append([]obs.Observer{obs.Record(&trace)}, extra...)
 	eng, err := core.NewEngine(cfg, nodes)
 	if err != nil {
 		t.Fatal(err)
@@ -214,5 +216,46 @@ func TestKineticContactsByteIdentical(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// countingObserver subscribes to the full lifecycle and every event kind
+// (nil Kinds ⇒ all) but never touches engine state.
+type countingObserver struct {
+	obs.Base
+	events, lifecycle int
+}
+
+func (c *countingObserver) RunStart(obs.Meta)      { c.lifecycle++ }
+func (c *countingObserver) Event(report.Event)     { c.events++ }
+func (c *countingObserver) RunEnd(obs.Snapshot)    { c.lifecycle++ }
+func (c *countingObserver) Heartbeat(obs.Snapshot) { c.lifecycle++ }
+
+// TestObserverLeavesGoldenByteIdentical is the observer API's overhead
+// guard: attaching a passive observer — one that receives every event and
+// lifecycle signal — must leave the golden event trace byte-identical to
+// the recorded no-observer run. Observation may never perturb simulation.
+func TestObserverLeavesGoldenByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour determinism run skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "kernel_default.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-kernel-golden): %v", err)
+	}
+	var passive countingObserver
+	var b strings.Builder
+	for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
+		b.WriteString(renderKernelGolden(t, scheme, 1, 0, &passive))
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("attaching a no-op observer changed the golden output\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if passive.events == 0 {
+		t.Error("passive observer saw no events — it was not actually attached")
+	}
+	if passive.lifecycle < 4 {
+		t.Errorf("passive observer saw %d lifecycle signals, want ≥4 (RunStart+RunEnd per scheme)", passive.lifecycle)
 	}
 }

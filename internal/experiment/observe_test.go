@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/obs"
+	"dtnsim/internal/scenario"
+)
+
+func observeTestSpec() scenario.Spec {
+	spec := scenario.Default(core.SchemeIncentive)
+	spec.Nodes = 15
+	spec.AreaKm2 = 0.15
+	spec.Duration = 10 * time.Minute
+	spec.MeanMessageInterval = 5 * time.Minute
+	return spec
+}
+
+func TestWithObservationReachesPoolRuns(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	ctx := WithObservation(context.Background(), Observation{Observers: []obs.Observer{sink}})
+	jobs := seedJobs(observeTestSpec(), []int64{1, 2}, nil)
+	if _, err := runJobs(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		counts[rec.Type]++
+	}
+	if counts["run_start"] != 2 || counts["run_end"] != 2 {
+		t.Errorf("sink saw %v, want 2 run_start and 2 run_end (one per seed)", counts)
+	}
+}
+
+func TestApplyObservationMergesIntoConfig(t *testing.T) {
+	preset := &progressObserver{}
+	shared := &progressObserver{}
+	ctx := WithObservation(context.Background(), Observation{
+		Heartbeat: 2 * time.Second,
+		Observers: []obs.Observer{shared},
+	})
+	cfg := core.Config{Observers: []obs.Observer{preset}}
+	applyObservation(ctx, &cfg)
+	if cfg.Heartbeat != 2*time.Second {
+		t.Errorf("heartbeat = %v, want 2s from the context", cfg.Heartbeat)
+	}
+	if len(cfg.Observers) != 2 || cfg.Observers[0] != obs.Observer(preset) || cfg.Observers[1] != obs.Observer(shared) {
+		t.Errorf("observers = %v, want config's first then context's", cfg.Observers)
+	}
+
+	// A per-run heartbeat wins over the context default.
+	cfg = core.Config{Heartbeat: time.Minute}
+	applyObservation(ctx, &cfg)
+	if cfg.Heartbeat != time.Minute {
+		t.Errorf("explicit heartbeat overridden to %v", cfg.Heartbeat)
+	}
+
+	// No observation in the context: config untouched.
+	cfg = core.Config{}
+	applyObservation(context.Background(), &cfg)
+	if cfg.Heartbeat != 0 || cfg.Observers != nil {
+		t.Errorf("bare context mutated config: %+v", cfg)
+	}
+}
+
+func TestProgressObserverFeedsAndReconciles(t *testing.T) {
+	pr := NewProgress()
+	o := &progressObserver{pr: pr}
+	if ks := o.Kinds(); ks == nil || len(ks) != 0 {
+		t.Fatalf("progressObserver.Kinds() = %v, want empty non-nil", ks)
+	}
+	o.Heartbeat(obs.Snapshot{SimSeconds: 100})
+	if got := pr.Snapshot().SimSeconds; got != 100 {
+		t.Errorf("after first heartbeat: %v sim-s credited, want 100", got)
+	}
+	o.Heartbeat(obs.Snapshot{SimSeconds: 250})
+	if got := pr.Snapshot().SimSeconds; got != 250 {
+		t.Errorf("after second heartbeat: %v sim-s credited, want 250 (delta, not sum)", got)
+	}
+	// RunEnd must take back the partial credit so the pool's completion
+	// accounting (which credits the full duration) doesn't double count.
+	o.RunEnd(obs.Snapshot{SimSeconds: 300})
+	pr.complete(300)
+	snap := pr.Snapshot()
+	if snap.SimSeconds != 300 {
+		t.Errorf("final credit %v sim-s, want exactly the job duration 300", snap.SimSeconds)
+	}
+	if snap.Done != 1 {
+		t.Errorf("done = %d", snap.Done)
+	}
+}
+
+func TestPoolFeedsProgressDuringRuns(t *testing.T) {
+	pr := NewProgress()
+	p := NewPool(1)
+	defer p.Close()
+	p.SetProgress(pr)
+	ctx := WithPool(context.Background(), p)
+	ctx = WithObservation(ctx, Observation{Heartbeat: time.Nanosecond})
+	spec := observeTestSpec()
+	if _, err := runJobs(ctx, seedJobs(spec, []int64{1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	snap := pr.Snapshot()
+	if snap.Done != 1 {
+		t.Fatalf("done = %d, want 1", snap.Done)
+	}
+	// Heartbeat partials were reconciled away at run end; completion credits
+	// exactly the job's simulated span.
+	if want := spec.Duration.Seconds(); snap.SimSeconds != want {
+		t.Errorf("credited %v sim-s, want %v", snap.SimSeconds, want)
+	}
+}

@@ -60,6 +60,13 @@ func (p *Pool) SetProgress(pr *Progress) {
 	p.mu.Unlock()
 }
 
+// progressRef returns the attached reporter, if any.
+func (p *Pool) progressRef() *Progress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.progress
+}
+
 // Close stops the workers once the queue drains. Jobs already queued still
 // run; submitting after Close is a programming error.
 func (p *Pool) Close() {
@@ -263,7 +270,9 @@ func runJobs(ctx context.Context, jobs []runJob) ([]core.Result, error) {
 	return results, nil
 }
 
-// runOne builds and runs a single engine.
+// runOne builds and runs a single engine, attaching the context's
+// observation spec and — when the pool has a live reporter and heartbeats
+// are on — a per-run progress feed.
 func runOne(ctx context.Context, j runJob) (core.Result, error) {
 	cfg, specs, err := scenario.Build(j.spec)
 	if err != nil {
@@ -271,6 +280,12 @@ func runOne(ctx context.Context, j runJob) (core.Result, error) {
 	}
 	if j.tweak != nil {
 		j.tweak(&cfg)
+	}
+	applyObservation(ctx, &cfg)
+	if p := poolFrom(ctx); p != nil && cfg.Heartbeat > 0 {
+		if pr := p.progressRef(); pr != nil {
+			cfg.Observers = append(cfg.Observers, &progressObserver{pr: pr})
+		}
 	}
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {

@@ -37,6 +37,15 @@ func (pr *Progress) complete(simSeconds float64) {
 	pr.mu.Unlock()
 }
 
+// advance credits partial simulated progress from a still-running job (the
+// heartbeat live feed); negative deltas take back credit a completing run
+// re-reports through complete.
+func (pr *Progress) advance(simSeconds float64) {
+	pr.mu.Lock()
+	pr.simSeconds += simSeconds
+	pr.mu.Unlock()
+}
+
 // Snapshot is one instant of the counters.
 type Snapshot struct {
 	// Total and Done count jobs submitted so far and finished. Total grows

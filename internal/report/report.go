@@ -65,8 +65,27 @@ type Event struct {
 	Relevant bool
 }
 
+// AllKinds lists every event kind in declaration order; tests and
+// exhaustive encoders iterate it instead of hand-maintaining the set.
+func AllKinds() []Kind {
+	return []Kind{
+		ContactUp, ContactDown, MessageCreated, Relayed,
+		Delivered, TransferAborted, Payment, TagAdded,
+	}
+}
+
 // Recorder consumes the engine's event stream. Implementations must be
 // cheap — the engine calls Record synchronously from the hot path.
+//
+// Recorder predates the unified observer API in internal/obs and is kept
+// as the rendering interface the report writers (ConnTraceWriter,
+// JSONLWriter, …) implement; attach one to an engine by wrapping it with
+// obs.Record and appending it to Config.Observers. Writing new observation
+// code against Recorder is deprecated — implement obs.Observer instead,
+// which adds the lifecycle signals, per-kind filtering, and snapshot
+// export a plain Recorder cannot see. The legacy Config.Recorder field
+// feeds through the same obs.Record adapter and carries the machine-
+// readable deprecation marker.
 type Recorder interface {
 	Record(Event)
 }

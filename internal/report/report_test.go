@@ -60,6 +60,62 @@ func TestMultiFansOut(t *testing.T) {
 	}
 }
 
+// orderRecorder appends its tag to a shared log on every event, so a test
+// can observe the exact interleaving Multi produces.
+type orderRecorder struct {
+	tag string
+	log *[]string
+}
+
+func (o orderRecorder) Record(e Event) { *o.log = append(*o.log, o.tag+":"+e.Kind.String()) }
+
+func TestMultiPreservesRecorderAndEventOrder(t *testing.T) {
+	// Every recorder must see every event, events in stream order, and for
+	// each event the recorders must run in slice order — the contract the
+	// trace writers rely on (ContactStats must observe the ContactUp that a
+	// ConnTraceWriter already rendered, not a reordered stream).
+	var log []string
+	m := Multi{orderRecorder{"a", &log}, orderRecorder{"b", &log}, orderRecorder{"c", &log}}
+	events := sampleEvents()
+	for _, e := range events {
+		m.Record(e)
+	}
+	if want := 3 * len(events); len(log) != want {
+		t.Fatalf("log has %d entries, want %d", len(log), want)
+	}
+	for i, e := range events {
+		for j, tag := range []string{"a", "b", "c"} {
+			want := tag + ":" + e.Kind.String()
+			if got := log[3*i+j]; got != want {
+				t.Fatalf("delivery %d = %q, want %q (full log: %v)", 3*i+j, got, want, log)
+			}
+		}
+	}
+}
+
+func TestAllKindsCoversEveryKind(t *testing.T) {
+	kinds := AllKinds()
+	seen := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		if k.String() == "UNKNOWN" {
+			t.Errorf("AllKinds includes unknown kind %d", int(k))
+		}
+		if seen[k] {
+			t.Errorf("AllKinds lists kind %v twice", k)
+		}
+		seen[k] = true
+	}
+	if !seen[ContactUp] || !seen[TagAdded] {
+		t.Errorf("AllKinds misses declared kinds: %v", kinds)
+	}
+	// Declaration order, starting at the first kind.
+	for i, k := range kinds {
+		if int(k) != i+1 {
+			t.Errorf("AllKinds[%d] = %d, want %d (declaration order)", i, int(k), i+1)
+		}
+	}
+}
+
 func TestConnTraceWriterFormat(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewConnTraceWriter(&buf)
@@ -127,6 +183,76 @@ func TestJSONLWriterRoundTrip(t *testing.T) {
 	}
 	if decoded.Kind != "PAY" || decoded.Tokens != 2.5 {
 		t.Errorf("payment line decoded to %+v", decoded)
+	}
+}
+
+func TestJSONLWriterRoundTripsEveryKind(t *testing.T) {
+	// One event of every declared kind, with every payload field that kind
+	// can carry populated, must survive the encode→decode round trip.
+	events := make([]Event, 0, len(AllKinds()))
+	for i, k := range AllKinds() {
+		ev := Event{
+			At:   time.Duration(i+1) * time.Second,
+			Kind: k,
+			A:    ident.NodeID(i + 1),
+			B:    ident.NodeID(i + 2),
+			Msg:  ident.MessageID("n1-m1"),
+		}
+		switch k {
+		case Payment:
+			ev.Tokens = 3.25
+		case TagAdded:
+			ev.Keyword = "flood"
+			ev.Relevant = true
+		}
+		events = append(events, ev)
+	}
+
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("jsonl lines = %d, want %d", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got struct {
+			AtMillis int64           `json:"atMillis"`
+			Kind     string          `json:"kind"`
+			A        ident.NodeID    `json:"a"`
+			B        ident.NodeID    `json:"b"`
+			Msg      ident.MessageID `json:"msg"`
+			Tokens   float64         `json:"tokens"`
+			Keyword  string          `json:"keyword"`
+			Relevant bool            `json:"relevant"`
+		}
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("kind %v line %q: %v", events[i].Kind, line, err)
+		}
+		want := events[i]
+		if got.Kind != want.Kind.String() {
+			t.Errorf("line %d kind = %q, want %q", i, got.Kind, want.Kind)
+		}
+		if got.AtMillis != want.At.Milliseconds() {
+			t.Errorf("%v atMillis = %d, want %d", want.Kind, got.AtMillis, want.At.Milliseconds())
+		}
+		if got.A != want.A || got.B != want.B || got.Msg != want.Msg {
+			t.Errorf("%v endpoints = (%v, %v, %v), want (%v, %v, %v)",
+				want.Kind, got.A, got.B, got.Msg, want.A, want.B, want.Msg)
+		}
+		if got.Tokens != want.Tokens {
+			t.Errorf("%v tokens = %v, want %v", want.Kind, got.Tokens, want.Tokens)
+		}
+		if got.Keyword != want.Keyword || got.Relevant != want.Relevant {
+			t.Errorf("%v tag fields = (%q, %t), want (%q, %t)",
+				want.Kind, got.Keyword, got.Relevant, want.Keyword, want.Relevant)
+		}
 	}
 }
 
