@@ -52,6 +52,7 @@ func run(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "output path for the bench-engine measurement grid")
 	benchWindow := fs.Int("benchwindow", 60, "bench-engine/bench-contacts measured window in simulated seconds per grid point")
+	benchRepeat := fs.Int("benchrepeat", 3, "bench-engine runs per grid point (fresh engine each); the fastest run is recorded, suppressing scheduler noise on shared hosts")
 	contactsOut := fs.String("contactsout", "BENCH_contacts.json", "output path for the bench-contacts measurement grid")
 	skin := fs.Float64("skin", 0, "kinetic contact-detection skin in metres for bench-contacts' kinetic points (0 = auto, a quarter of the radio range)")
 	if err := fs.Parse(args); err != nil {
@@ -186,7 +187,7 @@ func run(args []string) error {
 			return printTable(t, err)
 		},
 		"bench-engine": func() error {
-			points, err := experiment.EngineBench(ctx, experiment.EngineBenchGrid(), *benchWindow, os.Stderr)
+			points, err := experiment.EngineBench(ctx, experiment.EngineBenchGrid(), *benchWindow, *benchRepeat, os.Stderr)
 			if err != nil {
 				return err
 			}

@@ -37,11 +37,15 @@ type contact struct {
 	// plan holds this tick's pre-scored exchange outcome when the parallel
 	// scoring pass ran (Engine.scoreExchanges); planScored marks it fresh.
 	// peersA/peersB are the plan's per-contact peer-table scratch, private
-	// to this contact so scoring passes can run concurrently.
+	// to this contact so scoring passes can run concurrently; they are
+	// rebuilt only when the matching endpoint's peerGen moved past the
+	// generation they were built at (peersAGen/peersBGen).
 	plan       interest.ExchangePlan
 	planScored bool
 	peersA     []*interest.Table
 	peersB     []*interest.Table
+	peersAGen  uint64
+	peersBGen  uint64
 	// queue[queueHead:] are the pending transfers. Dequeuing advances
 	// queueHead instead of reslicing from the front, so a long-lived
 	// contact releases its consumed prefix (see pop) rather than pinning

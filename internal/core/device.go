@@ -209,13 +209,15 @@ func (d *Device) InterestRows() []InterestRow {
 	kws := table.Keywords()
 	out := make([]InterestRow, 0, len(kws))
 	for _, kw := range kws {
-		e := table.Entry(kw)
-		if e == nil {
+		e, ok := table.Row(kw)
+		if !ok {
 			continue
 		}
 		out = append(out, InterestRow{
-			Keyword:      kw,
-			Weight:       e.Weight,
+			Keyword: kw,
+			// The screen shows the currently observed weight — the lazy
+			// table materializes the decayed value, not the stored anchor.
+			Weight:       table.Weight(kw),
 			Direct:       e.Direct,
 			AcquiredFrom: e.AcquiredFrom,
 		})

@@ -132,7 +132,7 @@ func TestDeviceDecideBestRelay(t *testing.T) {
 	m, _ := a.Annotate([]string{"kw-0"}, []string{"kw-0"}, 1024, message.PriorityHigh, 0.9)
 	// Give B a weak and C a strong interest sum.
 	eng.Node(1).Interests().Acquire("kw-0", 9, 0)
-	eng.Node(1).Interests().Entry("kw-0").Weight = 0.2
+	eng.Node(1).Interests().SetWeight("kw-0", 0.2)
 	best, err := a.DecideBestRelay([]ident.NodeID{1, 2}, m)
 	if err != nil {
 		t.Fatal(err)
@@ -206,21 +206,37 @@ func TestDeviceDecayAndGrowOperators(t *testing.T) {
 	eng, a, _, _ := deviceHarness(t)
 	a.Subscribe("kw-7")
 	n := eng.Node(0)
-	n.Interests().Entry("kw-7").Weight = 0.9
+	n.Interests().SetWeight("kw-7", 0.9)
 	if err := eng.RunFor(context.Background(), 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
+	// Probe the decay operator with a direct interest A's neighbour has
+	// never seen, anchored back at t=0. (kw-7 itself has been shared with B
+	// since the first exchange round, and Algorithm 1 holds shared
+	// interests, so it cannot demonstrate decay.) The eager operator must
+	// re-anchor the row at the decayed value.
+	tab := n.Interests()
+	a.Subscribe("kw-19")
+	tab.SetWeight("kw-19", 0.9)
+	tab.SetLastShared("kw-19", 0)
 	a.DecayWeights()
-	w := n.Interests().Weight("kw-7")
-	if w >= 0.9 {
-		t.Errorf("weight after decay = %v, want < 0.9", w)
+	r, ok := tab.Row("kw-19")
+	if !ok {
+		t.Fatal("kw-19 missing after decay")
+	}
+	if r.Weight >= 0.9 {
+		t.Errorf("anchor after decay = %v, want < 0.9", r.Weight)
+	}
+	if r.LastShared != eng.Now() {
+		t.Errorf("anchor time after decay = %v, want re-anchored at %v", r.LastShared, eng.Now())
 	}
 	// Growth against connected peer B (which holds kw-7 only if acquired;
 	// subscribe B directly to make the case deterministic).
+	w := tab.Weight("kw-7")
 	bDev, _ := eng.Device(1)
 	bDev.Subscribe("kw-7")
 	a.IncrementWeights(time.Minute)
-	if got := n.Interests().Weight("kw-7"); got <= w {
+	if got := tab.Weight("kw-7"); got <= w {
 		t.Errorf("weight after growth = %v, want > %v", got, w)
 	}
 }

@@ -41,8 +41,6 @@ type Engine struct {
 	peersOf     map[ident.NodeID][]*contact
 	pairScratch []world.Pair
 	downScratch map[world.Pair]bool
-	peerTabA    []*interest.Table
-	peerTabB    []*interest.Table
 	tickNo      uint64
 
 	// workers bounds the intra-tick parallel phases (Config.Workers). The
@@ -81,6 +79,8 @@ type Engine struct {
 	ctrStale   *obs.Counter
 	ctrRebuild *obs.Counter
 	ctrSamples *obs.Counter
+	ctrSweep   *obs.Counter
+	ctrEvict   *obs.Counter
 	observers  []obs.Observer
 	obsByKind  [][]obs.Observer
 	nEvents    uint64
@@ -181,6 +181,10 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		if nerr != nil {
 			return nil, nerr
 		}
+		// Interest tables decay lazily against the kernel clock: reads
+		// materialize the time-decayed weight instead of relying on eager
+		// per-round sweeps (DESIGN.md "Lazy-decay interest tables").
+		n.table.SetClock(runner.Clock())
 		e.nodes = append(e.nodes, n)
 		n.lastPos = n.model.Position()
 		e.grid.Upsert(id, n.lastPos)
@@ -661,6 +665,8 @@ func (e *Engine) contactUp(p world.Pair, now time.Duration) {
 	}
 	e.peersOf[a.id] = append(e.peersOf[a.id], c)
 	e.peersOf[b.id] = append(e.peersOf[b.id], c)
+	a.peerGen++
+	b.peerGen++
 	if e.cfg.reputationActive() {
 		e.gossipReputation(a, b)
 		e.gossipReputation(b, a)
@@ -707,6 +713,8 @@ func (e *Engine) contactDown(c *contact) {
 	c.queue, c.queueHead = nil, 0
 	e.peersOf[c.a.id] = removeContact(e.peersOf[c.a.id], c)
 	e.peersOf[c.b.id] = removeContact(e.peersOf[c.b.id], c)
+	c.a.peerGen++
+	c.b.peerGen++
 }
 
 // abortTransfer records one transfer abandoned by a contact teardown.
@@ -721,8 +729,13 @@ func (e *Engine) abortTransfer(t *transfer, now time.Duration) {
 func removeContact(list []*contact, c *contact) []*contact {
 	for i, x := range list {
 		if x == c {
-			list[i] = list[len(list)-1]
-			return list[:len(list)-1]
+			last := len(list) - 1
+			list[i] = list[last]
+			// Nil the vacated tail slot: peersOf slices are reused across
+			// the run, and a dangling pointer there would pin the dead
+			// contact (and its ExchangePlan scratch) for the run's lifetime.
+			list[last] = nil
+			return list[:last]
 		}
 	}
 	return list
@@ -788,8 +801,7 @@ func (e *Engine) scoreExchanges(now time.Duration) {
 	}
 	e.workers.Do(len(due), func(i int) {
 		c := due[i]
-		c.peersA = peerTablesInto(c.peersA[:0], e.peersOf[c.a.id], c.a)
-		c.peersB = peerTablesInto(c.peersB[:0], e.peersOf[c.b.id], c.b)
+		e.refreshPeerTables(c)
 		c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id,
 			c.peersA, c.peersB, now, now-c.exchangedAt)
 		c.planScored = true

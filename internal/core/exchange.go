@@ -8,49 +8,68 @@ import (
 	"dtnsim/internal/routing"
 )
 
-// runExchange performs one RTSR + routing round over a contact: decay both
-// tables, exchange decayed snapshots, grow both tables, then run the
-// routing module in both directions and enqueue the negotiated transfers
-// (Paper I §2.2: "the ChitChat system first invokes the RTSR module ...
-// then invokes the message routing").
+// runExchange performs one RTSR + routing round over a contact: score the
+// round over both tables (eviction sweeps, shared-row refreshes, growth,
+// acquisitions — see interest.ExchangePlan), apply it, then run the routing
+// module in both directions and enqueue the negotiated transfers (Paper I
+// §2.2: "the ChitChat system first invokes the RTSR module ... then invokes
+// the message routing").
+//
+// The serial path and the parallel pre-scored path are the same code: a
+// contact the parallel pass scored applies directly unless an earlier apply
+// this tick touched the tables the plan read, in which case (and on the
+// serial path) the contact is scored here and applied immediately.
 //
 // grown is the contact age accounted this round (T_c − T_v accrues
 // incrementally across periodic exchanges, see interest.Params.GrowthRate).
 func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
 	c.exchangedAt = now
 
-	// RTSR phase. When the parallel pass pre-scored this contact and no
-	// earlier apply this tick touched the tables the plan read, the scored
-	// outcome lands directly (interest.ExchangePlan is bit-identical to the
-	// serial path); otherwise fall back to the serial pairwise exchange.
-	applied := false
 	if c.planScored {
 		c.planScored = false
-		if c.plan.StillValid() {
-			c.plan.Apply()
-			applied = true
-		} else {
+		if !c.plan.StillValid() {
 			e.ctrStale.Inc()
+			e.scoreContact(c, now, grown)
 		}
+	} else {
+		e.scoreContact(c, now, grown)
 	}
-	if !applied {
-		// Decay → exchange → growth, fused into the allocation-light
-		// pairwise form (interest.ExchangeGrow preserves the phase
-		// ordering). Decay needs each side's full connected-peer set: an
-		// interest shared by any live neighbour holds its weight
-		// (Algorithm 1).
-		e.peerTabA = e.peerTables(e.peerTabA[:0], c.a)
-		e.peerTabB = e.peerTables(e.peerTabB[:0], c.b)
-		interest.ExchangeGrow(
-			c.a.table, c.b.table, c.a.id, c.b.id,
-			e.peerTabA, e.peerTabB,
-			now, grown,
-		)
+	c.plan.Apply()
+	if n := c.plan.Evictions(); n > 0 {
+		e.ctrEvict.Add(uint64(n))
+	}
+	if n := c.plan.Sweeps(); n > 0 {
+		e.ctrSweep.Add(uint64(n))
 	}
 
 	// Routing phase, both directions.
 	e.routeDirection(c, c.a, c.b, now)
 	e.routeDirection(c, c.b, c.a, now)
+}
+
+// scoreContact scores the contact's RTSR round in place on its reusable
+// plan. The round needs each side's full connected-peer set: an interest
+// shared by any live neighbour holds its weight (Algorithm 1).
+func (e *Engine) scoreContact(c *contact, now, grown time.Duration) {
+	e.refreshPeerTables(c)
+	c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id, c.peersA, c.peersB, now, grown)
+}
+
+// refreshPeerTables rebuilds the contact's cached peer-table lists when an
+// endpoint's peer set changed since the cache was built (Node.peerGen moves
+// on every open-contact raise/teardown touching the node). The caching is
+// sound because scoring is insensitive to everything else about the lists:
+// the shared-mask OR commutes, and a peer's table mutations are covered by
+// the plan's shape-counter validation, not by rebuilding the list.
+func (e *Engine) refreshPeerTables(c *contact) {
+	if c.peersAGen != c.a.peerGen {
+		c.peersA = peerTablesInto(c.peersA[:0], e.peersOf[c.a.id], c.a)
+		c.peersAGen = c.a.peerGen
+	}
+	if c.peersBGen != c.b.peerGen {
+		c.peersB = peerTablesInto(c.peersB[:0], e.peersOf[c.b.id], c.b)
+		c.peersBGen = c.b.peerGen
+	}
 }
 
 // sortOffersFIFO reorders offers to destination-first, then message
@@ -67,14 +86,9 @@ func sortOffersFIFO(offers []routing.Offer) {
 	})
 }
 
-// peerTables appends the interest tables of all of n's open contacts to dst
-// (pass an engine scratch slice; one exchange round runs at a time).
-func (e *Engine) peerTables(dst []*interest.Table, n *Node) []*interest.Table {
-	return peerTablesInto(dst, e.peersOf[n.id], n)
-}
-
-// peerTablesInto is peerTables over an explicit contact list; the parallel
-// scoring pass calls it with per-contact scratch slices.
+// peerTablesInto appends the interest tables of all of n's contacts to dst
+// (per-contact scratch slices; both the parallel scoring pass and the
+// serial scoreContact fallback call it).
 func peerTablesInto(dst []*interest.Table, contacts []*contact, n *Node) []*interest.Table {
 	for _, c := range contacts {
 		dst = append(dst, c.other(n).table)

@@ -61,6 +61,11 @@ type Node struct {
 	// buffer's earliest deadline by Engine.armExpiry. Nil until the first
 	// TTL-carrying message lands in the buffer.
 	expiryEv *sim.Handle
+	// peerGen counts changes to the node's peersOf list (open contacts
+	// raised or torn down). Contacts compare it against the generation their
+	// cached peer-table lists were built at, so exchange rounds rebuild the
+	// lists only after churn touches an endpoint (Engine.refreshPeerTables).
+	peerGen uint64
 }
 
 var _ routing.NodeView = (*Node)(nil)

@@ -20,6 +20,8 @@ import (
 //	stale_plans         pre-scored exchange plans discarded as stale
 //	candidate_rebuilds  kinetic candidate-list rebuilds
 //	rating_samples      Figure 5.4 rating samples taken
+//	interest_sweeps     exchange-round eviction sweeps run (deadline reached)
+//	interest_evictions  interest rows evicted by those sweeps
 //
 // Phase names and their attribution are documented on obs.Phase and in
 // DESIGN.md "Observability".
@@ -36,6 +38,8 @@ func (e *Engine) initObservability(cfg Config) {
 	e.ctrStale = e.reg.Counter("stale_plans")
 	e.ctrRebuild = e.reg.Counter("candidate_rebuilds")
 	e.ctrSamples = e.reg.Counter("rating_samples")
+	e.ctrSweep = e.reg.Counter("interest_sweeps")
+	e.ctrEvict = e.reg.Counter("interest_evictions")
 
 	e.observers = append([]obs.Observer(nil), cfg.Observers...)
 	if cfg.Recorder != nil {

@@ -66,66 +66,90 @@ func EngineBenchGrid() []EngineBenchPoint {
 	return grid
 }
 
-// EngineBench measures each grid point in place: build the paper-density
-// network, warm up two simulated minutes (buffers, contacts, periodic
-// schedule), then time simSeconds simulated seconds and record wall time
-// and allocation per simulated second.
-func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds int, log io.Writer) ([]EngineBenchPoint, error) {
+// EngineBench measures each grid point: build the paper-density network,
+// warm up two simulated minutes (buffers, contacts, periodic schedule),
+// then time simSeconds simulated seconds and record wall time and
+// allocation per simulated second. Each point is measured repeat times
+// from a fresh engine and the fastest run is kept: the measured windows
+// are a few hundred wall-milliseconds, short enough that one scheduler or
+// hypervisor hiccup on a shared host distorts a single shot by tens of
+// percent, and the minimum is the standard low-noise estimator for a
+// deterministic workload (the simulation itself is identical run to run).
+func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds, repeat int, log io.Writer) ([]EngineBenchPoint, error) {
 	if simSeconds <= 0 {
 		return nil, fmt.Errorf("experiment: bench window must be positive, got %d", simSeconds)
 	}
+	if repeat <= 0 {
+		repeat = 1
+	}
 	out := make([]EngineBenchPoint, 0, len(grid))
 	for _, pt := range grid {
-		spec := scenario.Default(core.SchemeIncentive)
-		spec.Nodes = pt.Nodes
-		spec.AreaKm2 = float64(pt.Nodes) / 100
-		spec.Duration = 24 * time.Hour // never reached; windows driven manually
-		spec.SelfishPercent = 20
-		spec.MaliciousPercent = 10
-		spec.MeanMessageInterval = 30 * time.Minute
-		spec.Workers = pt.Workers
-		cfg, pop, err := scenario.Build(spec)
-		if err != nil {
-			return nil, err
+		best := pt
+		for rep := 0; rep < repeat; rep++ {
+			got, err := engineBenchRun(ctx, pt, simSeconds)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || got.MsPerSimSecond < best.MsPerSimSecond {
+				best = got
+			}
 		}
-		cfg.MessageTTL = 30 * time.Minute
-		applyObservation(ctx, &cfg)
-		eng, err := core.NewEngine(cfg, pop)
-		if err != nil {
-			return nil, err
-		}
-		if err := eng.RunFor(ctx, 2*time.Minute); err != nil {
-			return nil, err
-		}
-
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		warm := eng.Snapshot()
-		start := time.Now()
-		if err := eng.RunFor(ctx, time.Duration(simSeconds)*time.Second); err != nil {
-			return nil, err
-		}
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
-		window := eng.Snapshot().Sub(warm)
-
-		pt.EffectiveWorkers = eng.Workers()
-		pt.SimSeconds = float64(simSeconds)
-		pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
-		pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
-		pt.PhaseMsPerSimSecond = phaseColumns(window, pt.SimSeconds)
-		pt.StalePlans = eng.StalePlans()
-		pt.CandidateRebuilds = eng.ContactRebuilds()
-		pt.GoMaxProcs = runtime.GOMAXPROCS(0)
-		pt.GoVersion = runtime.Version()
-		out = append(out, pt)
+		out = append(out, best)
 		if log != nil {
 			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s (exchange %.2f), %.0f B/sim-s, stale=%d\n",
-				pt.Nodes, pt.Workers, pt.EffectiveWorkers, pt.MsPerSimSecond,
-				pt.PhaseMsPerSimSecond["exchange"], pt.BytesPerSimSecond, pt.StalePlans)
+				best.Nodes, best.Workers, best.EffectiveWorkers, best.MsPerSimSecond,
+				best.PhaseMsPerSimSecond["exchange"], best.BytesPerSimSecond, best.StalePlans)
 		}
 	}
 	return out, nil
+}
+
+// engineBenchRun performs one warmup-and-measure pass for a grid point on a
+// freshly built engine.
+func engineBenchRun(ctx context.Context, pt EngineBenchPoint, simSeconds int) (EngineBenchPoint, error) {
+	spec := scenario.Default(core.SchemeIncentive)
+	spec.Nodes = pt.Nodes
+	spec.AreaKm2 = float64(pt.Nodes) / 100
+	spec.Duration = 24 * time.Hour // never reached; windows driven manually
+	spec.SelfishPercent = 20
+	spec.MaliciousPercent = 10
+	spec.MeanMessageInterval = 30 * time.Minute
+	spec.Workers = pt.Workers
+	cfg, pop, err := scenario.Build(spec)
+	if err != nil {
+		return pt, err
+	}
+	cfg.MessageTTL = 30 * time.Minute
+	applyObservation(ctx, &cfg)
+	eng, err := core.NewEngine(cfg, pop)
+	if err != nil {
+		return pt, err
+	}
+	if err := eng.RunFor(ctx, 2*time.Minute); err != nil {
+		return pt, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	warm := eng.Snapshot()
+	start := time.Now()
+	if err := eng.RunFor(ctx, time.Duration(simSeconds)*time.Second); err != nil {
+		return pt, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	window := eng.Snapshot().Sub(warm)
+
+	pt.EffectiveWorkers = eng.Workers()
+	pt.SimSeconds = float64(simSeconds)
+	pt.MsPerSimSecond = float64(wall) / float64(time.Millisecond) / pt.SimSeconds
+	pt.BytesPerSimSecond = float64(after.TotalAlloc-before.TotalAlloc) / pt.SimSeconds
+	pt.PhaseMsPerSimSecond = phaseColumns(window, pt.SimSeconds)
+	pt.StalePlans = eng.StalePlans()
+	pt.CandidateRebuilds = eng.ContactRebuilds()
+	pt.GoMaxProcs = runtime.GOMAXPROCS(0)
+	pt.GoVersion = runtime.Version()
+	return pt, nil
 }
 
 // phaseColumns renders a measured window's per-phase timers as wall

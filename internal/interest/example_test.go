@@ -16,7 +16,7 @@ func ExampleTable_Decay() {
 		panic(err)
 	}
 	table.DeclareDirect("food coupon", 0)
-	table.Entry("food coupon").Weight = 0.6
+	table.SetWeight("food coupon", 0.6)
 
 	table.Decay(5*time.Second, nil)
 	fmt.Printf("W_n = %.2f\n", table.Weight("food coupon"))

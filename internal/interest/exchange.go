@@ -1,150 +1,69 @@
 package interest
 
 import (
+	"math/bits"
 	"time"
 
 	"dtnsim/internal/ident"
 )
 
-// This file holds the allocation-light pairwise exchange the engine's hot
-// path uses. Semantically it is Decay + Snapshot + Grow for both tables at
-// once (Paper I §2.3's "decay algorithm, exchange of decayed weights,
-// growth algorithm"), but it reads the peer table in place via interned IDs
-// instead of copying weight snapshots, which dominated early CPU profiles.
-// Both growth deltas are computed against the decayed-but-not-yet-grown
-// tables, preserving the paper's exchange-then-grow ordering.
+// This file holds the pairwise exchange entry points. ExchangeGrow is the
+// historical API — Decay + exchange of decayed weights + Grow for both
+// tables at once (Paper I §2.3) — now implemented as a Score+Apply round
+// over the shared ExchangePlan (score.go), so the serial path and the
+// engine's optimistically parallel scored path are the same code.
+// DecayAgainst remains as the eager reference implementation the
+// equivalence tests lock the plan against.
 
-// DecayAgainst applies the decay algorithm treating as "connected" every
-// keyword held by any of the peers (Algorithm 1's "if a device with I is
-// connected": shared entries refresh T_l, the rest decay). The peers list
-// must contain every currently connected device's table, not just the
+// DecayAgainst applies the decay algorithm eagerly at time now, treating as
+// "connected" every keyword held by any of the peers (Algorithm 1's "if a
+// device with I is connected": shared entries refresh T_l, the rest are
+// re-anchored at their materialized weight, pruned when dead). The peers
+// list must contain every currently connected device's table, not just the
 // exchange partner — a transient interest learned from one neighbour must
 // not decay while that neighbour is still attached.
 func (t *Table) DecayAgainst(now time.Duration, peers ...*Table) {
 	t.version++
 	prune := t.pruneScratch[:0]
-	for _, id := range t.active {
-		e := t.rows[id]
-		shared := false
-		for _, peer := range peers {
-			if peer.row(id) != nil {
-				shared = true
-				break
+	for wi, w := range t.present {
+		m := w
+		for m != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+			shared := false
+			for _, peer := range peers {
+				if peer.present.test(id) {
+					shared = true
+					break
+				}
 			}
-		}
-		if shared {
-			e.LastShared = now
-			continue
-		}
-		if t.decayRow(e, now) {
-			prune = append(prune, id)
+			if shared {
+				t.lastShared[id] = now
+				continue
+			}
+			if t.reanchor(id, now) {
+				prune = append(prune, id)
+			}
 		}
 	}
 	for _, id := range prune {
-		t.remove(id)
+		t.removeRow(id)
 	}
 	t.pruneScratch = prune
 }
 
 // ExchangeGrow runs the pairwise RTSR exchange for a contact that has
-// lasted dt since the previous exchange: decay both tables (against all of
-// their respective connected peers), then grow both from the other's
-// decayed weights, acquiring unknown keywords as transient interests. Both
-// tables must share Params and an Interner (the engine builds every node
-// from one Config). aPeers/bPeers are the full connected-peer table lists
-// for a and b; each must include the exchange partner.
+// lasted dt since the previous exchange: sweep dead rows and refresh shared
+// anchors in both tables (against all of their respective connected peers),
+// then grow both from the other's observed weights, acquiring unknown
+// keywords as transient interests. Both tables must share Params and an
+// Interner (the engine builds every node from one Config). aPeers/bPeers
+// are the full connected-peer table lists for a and b; each must include
+// the exchange partner.
 func ExchangeGrow(a, b *Table, aID, bID ident.NodeID, aPeers, bPeers []*Table, now time.Duration, dt time.Duration) {
-	a.DecayAgainst(now, aPeers...)
-	b.DecayAgainst(now, bPeers...)
-
-	// Compute both growth deltas against the decayed weights, then apply.
-	// Applying after both passes keeps the exchange symmetric — a's growth
-	// must not feed b's growth in the same round.
-	aDeltas := a.growthDeltas(b, dt)
-	bDeltas := b.growthDeltas(a, dt)
-	a.applyDeltas(aDeltas, now)
-	b.applyDeltas(bDeltas, now)
-
-	// Acquire and immediately grow keywords only the peer holds. Each side
-	// captures the peer's pre-acquisition keyword list first so the two
-	// acquisition passes stay symmetric.
-	aNew := b.unknownTo(a)
-	bNew := a.unknownTo(b)
-	a.acquireGrown(b, aNew, bID, now, dt)
-	b.acquireGrown(a, bNew, aID, now, dt)
-}
-
-// growthDeltas computes Δ for every local keyword from the peer's current
-// weights, indexed parallel to t.active. A negative sentinel marks keywords
-// the peer does not share.
-// The returned slice is the table's reusable scratch; it is valid until the
-// table's next growthDeltas call.
-func (t *Table) growthDeltas(peer *Table, dt time.Duration) []float64 {
-	deltas := t.deltaScratch[:0]
-	seconds := dt.Seconds()
-	for _, id := range t.active {
-		pe := peer.row(id)
-		if pe == nil {
-			deltas = append(deltas, -1)
-			continue
-		}
-		e := t.rows[id]
-		psi := psiCase(e.Direct, pe.Direct)
-		deltas = append(deltas, pe.Weight*t.params.GrowthRate*seconds/float64(psi))
+	if a.plan == nil {
+		a.plan = &ExchangePlan{}
 	}
-	t.deltaScratch = deltas
-	return deltas
-}
-
-// applyDeltas applies precomputed growth deltas (skipping the unshared
-// sentinel) and refreshes T_l for shared keywords.
-func (t *Table) applyDeltas(deltas []float64, now time.Duration) {
-	t.version++
-	for i, d := range deltas {
-		if d < 0 {
-			continue
-		}
-		e := t.rows[t.active[i]]
-		e.LastShared = now
-		e.Weight += d
-		if e.Weight > MaxWeight {
-			e.Weight = MaxWeight
-		}
-	}
-}
-
-// unknownTo returns the IDs t holds that other lacks. The returned slice is
-// t's reusable scratch, valid until t's next unknownTo call.
-func (t *Table) unknownTo(other *Table) []int32 {
-	out := t.unknownScratch[:0]
-	for _, id := range t.active {
-		if other.row(id) == nil {
-			out = append(out, id)
-		}
-	}
-	t.unknownScratch = out
-	return out
-}
-
-// acquireGrown adds the listed peer keywords as transient interests and
-// applies their first growth increment.
-func (t *Table) acquireGrown(peer *Table, ids []int32, from ident.NodeID, now time.Duration, dt time.Duration) {
-	t.version++
-	seconds := dt.Seconds()
-	for _, id := range ids {
-		pe := peer.row(id)
-		if pe == nil || t.row(id) != nil {
-			continue
-		}
-		psi := psiCase(false, pe.Direct)
-		w := pe.Weight * t.params.GrowthRate * seconds / float64(psi)
-		if w > MaxWeight {
-			w = MaxWeight
-		}
-		e := t.takeEntry()
-		e.Weight = w
-		e.LastShared = now
-		e.AcquiredFrom = from
-		t.insert(id, e)
-	}
+	a.plan.Score(a, b, aID, bID, aPeers, bPeers, now, dt)
+	a.plan.Apply()
 }

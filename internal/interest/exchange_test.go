@@ -26,13 +26,16 @@ func buildPair(t *testing.T) (*Table, *Table) {
 	a.DeclareDirect("a-only", 0)
 	b.DeclareDirect("b-only", 0)
 	a.Acquire("a-transient", 9, 0)
-	a.Entry("a-transient").Weight = 0.3
+	a.SetWeight("a-transient", 0.3)
 	return a, b
 }
 
 // TestExchangeGrowMatchesSlowPath verifies the fused fast path computes the
 // same weights as the paper's literal three-phase sequence (Decay,
-// Snapshot/exchange, Grow) for a pairwise contact.
+// Snapshot/exchange, Grow) for a pairwise contact. The fast tables are lazy
+// — unshared rows keep their stored anchor — so the comparison reads them
+// materialized at the exchange time, where they must match the eagerly
+// re-anchored slow tables exactly.
 func TestExchangeGrowMatchesSlowPath(t *testing.T) {
 	now := 30 * time.Second
 	dt := 10 * time.Second
@@ -52,12 +55,12 @@ func TestExchangeGrowMatchesSlowPath(t *testing.T) {
 	slowB.Grow(now, []PeerView{{Peer: 1, ConnectedFor: dt, Weights: snapA}})
 
 	for _, kw := range slowA.Keywords() {
-		if got, want := fastA.Weight(kw), slowA.Weight(kw); math.Abs(got-want) > 1e-9 {
+		if got, want := fastA.WeightAt(kw, now), slowA.Weight(kw); got != want {
 			t.Errorf("a[%q]: fast %v, slow %v", kw, got, want)
 		}
 	}
 	for _, kw := range slowB.Keywords() {
-		if got, want := fastB.Weight(kw), slowB.Weight(kw); math.Abs(got-want) > 1e-9 {
+		if got, want := fastB.WeightAt(kw, now), slowB.Weight(kw); got != want {
 			t.Errorf("b[%q]: fast %v, slow %v", kw, got, want)
 		}
 	}
@@ -84,7 +87,7 @@ func TestExchangeGrowAcquiresBothWays(t *testing.T) {
 	if !b.Has("a-only") {
 		t.Error("b did not acquire a's interest")
 	}
-	if e := a.Entry("b-only"); e == nil || e.Direct || e.AcquiredFrom != ident.NodeID(2) {
+	if e, ok := a.Row("b-only"); !ok || e.Direct || e.AcquiredFrom != ident.NodeID(2) {
 		t.Errorf("acquired entry wrong: %+v", e)
 	}
 }

@@ -7,11 +7,24 @@
 // growth model, weighted by the ψ case factor.
 //
 // Tables are keyed internally by interned keyword IDs (see Interner); the
-// public API speaks strings.
+// public API speaks strings. Storage is struct-of-arrays: parallel weight
+// and timestamp slices plus present/direct bitsets indexed by interned ID,
+// so the exchange hot path is array indexing and word-wide set algebra
+// rather than pointer chasing.
+//
+// Decay is lazy (see DESIGN.md "Lazy-decay interest tables"): a row stores
+// the weight as of its anchor time T_l (LastShared), and readers materialize
+// the decayed value on demand — one application of Algorithm 1's formula
+// over the elapsed gap — instead of every table being swept every round.
+// A table with a Clock attached (SetClock) materializes on every read; a
+// clockless table behaves like the historical eager implementation and
+// returns stored values.
 package interest
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -26,6 +39,10 @@ const (
 	// is 1").
 	MaxWeight = 1.0
 )
+
+// noDeath is the next-eviction deadline of a table with no transient row
+// that can ever decay below the prune threshold.
+const noDeath = time.Duration(math.MaxInt64)
 
 // Params tunes the RTSR model.
 type Params struct {
@@ -62,15 +79,24 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Entry is one interest row.
-type Entry struct {
-	// Weight is the current strength in [0, MaxWeight].
+// Clock is the virtual time source a table reads to materialize lazy decay;
+// *sim.Clock satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Row is a value copy of one interest row. Weight is the stored anchor
+// weight — the weight as of LastShared; Table.Weight/WeightAt return the
+// time-decayed view.
+type Row struct {
+	// Weight is the strength as of LastShared, in [0, MaxWeight].
 	Weight float64
 	// Direct marks a user-declared subscription keyword; false means the
 	// interest is transient (acquired from an encounter).
 	Direct bool
 	// LastShared is T_l: the latest time a connected device shared this
-	// interest. Decay measures elapsed time from here.
+	// interest (or its weight was re-anchored). Decay measures elapsed
+	// time from here.
 	LastShared time.Duration
 	// AcquiredFrom records the device a transient interest came from (the
 	// demo app shows this as the MAC address column; SELF for direct).
@@ -81,8 +107,23 @@ type Entry struct {
 type Table struct {
 	params Params
 	in     *Interner
-	rows   []*Entry // indexed by keyword ID; nil = absent
-	active []int32  // IDs with live entries, ascending
+	clock  Clock
+
+	// Struct-of-arrays row storage, indexed by interned keyword ID: a row
+	// exists iff its present bit is set; weights/lastShared/source are the
+	// parallel payload slices (zeroed while absent).
+	weights    []float64
+	lastShared []time.Duration
+	source     []ident.NodeID
+	present    bitset
+	direct     bitset
+	count      int
+
+	// nextDeath is a conservative lower bound on the earliest time any
+	// transient row can decay below PruneBelow. The exchange round sweeps
+	// eviction candidates only when now has reached it — prune-below
+	// eviction folded into the next touch instead of a per-round pass.
+	nextDeath time.Duration
 
 	// version counts mutations and shape counts the subset that changes
 	// membership (inserts and removes). The parallel exchange-scoring phase
@@ -91,20 +132,21 @@ type Table struct {
 	// for the other connected peers (presence checks only) — and the plan
 	// applies only while those counters still match; otherwise the round
 	// recomputes serially (see ExchangePlan). Every mutating method bumps
-	// version; insert/remove bump shape.
+	// version; row inserts and removals bump shape.
 	version uint64
 	shape   uint64
 
-	// free recycles pruned row entries: transient-interest churn
-	// (acquire → decay → prune, once per exchange round) made Entry the
-	// hottest allocation in the engine's profile. Tables are
-	// single-goroutine, like the engine that owns them.
-	free []*Entry
-	// deltaScratch, pruneScratch, and unknownScratch back the exchange
-	// round's temporary slices for the same reason.
-	deltaScratch   []float64
-	pruneScratch   []int32
-	unknownScratch []int32
+	// invBeta and invBetaTheta are 1/β and 1/(β·θ), precomputed so the
+	// death-bound arithmetic on the sweep path is multiplies, not divides.
+	// Params are immutable after construction.
+	invBeta      float64
+	invBetaTheta float64
+
+	// pruneScratch backs the legacy Decay/DecayAgainst prune list; plan is
+	// the lazily-allocated scratch behind the ExchangeGrow wrapper. Tables
+	// are single-goroutine, like the engine that owns them.
+	pruneScratch []int32
+	plan         *ExchangePlan
 }
 
 // NewTable creates an empty table sharing the given interner. Every table
@@ -116,11 +158,24 @@ func NewTable(params Params, in *Interner) (*Table, error) {
 	if in == nil {
 		return nil, fmt.Errorf("interest: table requires an interner")
 	}
-	return &Table{params: params, in: in}, nil
+	t := &Table{params: params, in: in, nextDeath: noDeath}
+	t.invBeta = 1 / params.Beta
+	if params.PruneBelow > 0 {
+		t.invBetaTheta = 1 / (params.Beta * params.PruneBelow)
+	}
+	return t, nil
 }
 
 // Interner returns the shared keyword interner.
 func (t *Table) Interner() *Interner { return t.in }
+
+// SetClock attaches the virtual clock that drives lazy decay: reads
+// (Weight, SumWeightsIDs, Snapshot, …) materialize the time-decayed value
+// at clock.Now() instead of returning the stored anchor weight. The engine
+// attaches its kernel clock to every node's table; a clockless table (the
+// legacy construction) returns stored values, matching the historical
+// eager behaviour.
+func (t *Table) SetClock(c Clock) { t.clock = c }
 
 // Version returns the table's mutation counter. Two reads returning the
 // same value bracket a span with no table mutations — the staleness check
@@ -129,73 +184,149 @@ func (t *Table) Version() uint64 { return t.version }
 
 // Shape returns the membership counter: it advances only when a row is
 // inserted or removed, not on weight or flag updates. Exchange plans
-// validate peer tables by shape because decay reads only peer membership.
+// validate peer tables by shape because the shared-row masks read only peer
+// membership.
 func (t *Table) Shape() uint64 { return t.shape }
 
-func (t *Table) row(id int32) *Entry {
-	if int(id) >= len(t.rows) {
-		return nil
+// ensure grows the payload slices to cover id.
+func (t *Table) ensure(id int32) {
+	for int(id) >= len(t.weights) {
+		t.weights = append(t.weights, 0)
+		t.lastShared = append(t.lastShared, 0)
+		t.source = append(t.source, ident.Nobody)
 	}
-	return t.rows[id]
 }
 
-func (t *Table) insert(id int32, e *Entry) {
+// insertRow adds a row; the caller guarantees id is absent.
+func (t *Table) insertRow(id int32, w float64, direct bool, at time.Duration, from ident.NodeID) {
+	t.ensure(id)
+	t.present.set(id)
+	if direct {
+		t.direct.set(id)
+	} else {
+		t.direct.clear(id)
+		t.mergeDeath(w, at)
+	}
+	t.weights[id] = w
+	t.lastShared[id] = at
+	t.source[id] = from
+	t.count++
 	t.shape++
-	for int(id) >= len(t.rows) {
-		t.rows = append(t.rows, nil)
-	}
-	t.rows[id] = e
-	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
-	t.active = append(t.active, 0)
-	copy(t.active[i+1:], t.active[i:])
-	t.active[i] = id
 }
 
-// takeEntry returns a zeroed Entry, recycling pruned rows when possible.
-func (t *Table) takeEntry() *Entry {
-	if n := len(t.free); n > 0 {
-		e := t.free[n-1]
-		t.free[n-1] = nil
-		t.free = t.free[:n-1]
-		*e = Entry{}
-		return e
-	}
-	return &Entry{}
-}
-
-func (t *Table) remove(id int32) {
-	if int(id) >= len(t.rows) || t.rows[id] == nil {
+// removeRow evicts a row, zeroing its payload slots.
+func (t *Table) removeRow(id int32) {
+	if !t.present.test(id) {
 		return
 	}
+	t.present.clear(id)
+	t.direct.clear(id)
+	t.weights[id] = 0
+	t.lastShared[id] = 0
+	t.source[id] = ident.Nobody
+	t.count--
 	t.shape++
-	t.free = append(t.free, t.rows[id])
-	t.rows[id] = nil
-	i := sort.Search(len(t.active), func(i int) bool { return t.active[i] >= id })
-	if i < len(t.active) && t.active[i] == id {
-		t.active = append(t.active[:i], t.active[i+1:]...)
+}
+
+// decayedWeight applies Algorithm 1's decay formula to a weight anchored
+// elapsed ago, returning the materialized value and whether a transient row
+// is dead (below the prune threshold). This one function backs the legacy
+// eager sweeps, the lazy read paths, and the exchange scoring, so every
+// consumer sees bit-identical arithmetic.
+//
+// Edge-case guard (documented in DESIGN.md): the printed divisor β·(T_c-T_l)
+// amplifies weights when below one (e.g. a sub-second gap); we clamp the
+// divisor to at least 1 so decay is monotone non-increasing.
+func decayedWeight(params Params, w float64, direct bool, elapsed time.Duration) (float64, bool) {
+	div := params.Beta * elapsed.Seconds()
+	if div < 1 {
+		return w, false
+	}
+	if direct {
+		return (w-InitialWeight)/div + InitialWeight, false
+	}
+	w = w / div
+	return w, w < params.PruneBelow
+}
+
+// materialized returns the row's weight as observed at now: one decay step
+// over the gap since its anchor — Algorithm 1 as a pure function of elapsed
+// time rather than of how often a sweep happened to run.
+func (t *Table) materialized(id int32, now time.Duration) float64 {
+	w, _ := decayedWeight(t.params, t.weights[id], t.direct.test(id), now-t.lastShared[id])
+	return w
+}
+
+// deadRow reports whether a transient row is below the prune threshold at
+// now — the exact eager prune test, shared by legacy Decay and the lazy
+// eviction sweep.
+func (t *Table) deadRow(id int32, now time.Duration) bool {
+	_, dead := decayedWeight(t.params, t.weights[id], false, now-t.lastShared[id])
+	return dead
+}
+
+// maxDeathSeconds bounds the horizon converted into a deadline; anything
+// further (≈317 years of virtual time) is "never" for every scenario and
+// keeps the float→Duration conversion clear of overflow.
+const maxDeathSeconds = 1e10
+
+// deathBound returns a conservative lower bound on the earliest time the
+// transient row (weight w anchored at T_l = at) can go dead: the crossing
+// solved from w/(β·ΔT) < θ together with the div ≥ 1 clamp, pulled one
+// millisecond early so float rounding in the bound can never postpone a
+// sweep past the round in which deadRow first fires. An early bound only
+// costs a sweep that evicts nothing; a late one would diverge from the
+// eager semantics. The same margin absorbs the sub-ulp drift of computing
+// w/(β·θ) as a multiply by the precomputed reciprocal.
+func (t *Table) deathBound(w float64, at time.Duration) time.Duration {
+	if t.params.PruneBelow <= 0 {
+		return noDeath
+	}
+	secs := t.invBeta
+	if s := w * t.invBetaTheta; s > secs {
+		secs = s
+	}
+	if secs > maxDeathSeconds {
+		return noDeath
+	}
+	d := at + time.Duration(secs*float64(time.Second)) - time.Millisecond
+	if d < at {
+		d = at
+	}
+	return d
+}
+
+// mergeDeath folds one transient row's death bound into the table deadline.
+func (t *Table) mergeDeath(w float64, at time.Duration) {
+	if d := t.deathBound(w, at); d < t.nextDeath {
+		t.nextDeath = d
 	}
 }
 
 // DeclareDirect subscribes the device to a keyword at InitialWeight. If the
 // keyword exists as transient it is promoted to direct, keeping the higher
-// of its current weight and InitialWeight.
+// of its current weight and InitialWeight, and its anchor re-set to now —
+// the declaration is a fresh direct signal, so the promoted weight must not
+// keep decaying against the transient row's stale T_l (historically it did,
+// collapsing the weight bonus toward 0.5 on the next decay).
 func (t *Table) DeclareDirect(kw string, now time.Duration) {
 	t.version++
 	id := t.in.ID(kw)
-	if e := t.row(id); e != nil {
-		e.Direct = true
-		e.AcquiredFrom = ident.Nobody
-		if e.Weight < InitialWeight {
-			e.Weight = InitialWeight
+	if t.present.test(id) {
+		w := t.weights[id]
+		if t.clock != nil {
+			w = t.materialized(id, now)
 		}
+		if w < InitialWeight {
+			w = InitialWeight
+		}
+		t.weights[id] = w
+		t.lastShared[id] = now
+		t.direct.set(id)
+		t.source[id] = ident.Nobody
 		return
 	}
-	e := t.takeEntry()
-	e.Weight = InitialWeight
-	e.Direct = true
-	e.LastShared = now
-	e.AcquiredFrom = ident.Nobody
-	t.insert(id, e)
+	t.insertRow(id, InitialWeight, true, now, ident.Nobody)
 }
 
 // Acquire records a transient interest learned from a peer, starting at
@@ -203,52 +334,106 @@ func (t *Table) DeclareDirect(kw string, now time.Duration) {
 func (t *Table) Acquire(kw string, from ident.NodeID, now time.Duration) {
 	t.version++
 	id := t.in.ID(kw)
-	if t.row(id) != nil {
+	if t.present.test(id) {
 		return
 	}
-	e := t.takeEntry()
-	e.LastShared = now
-	e.AcquiredFrom = from
-	t.insert(id, e)
+	t.insertRow(id, 0, false, now, from)
 }
 
 // Len returns the number of interests (direct + transient).
-func (t *Table) Len() int { return len(t.active) }
+func (t *Table) Len() int { return t.count }
 
 // Keywords returns all keywords in lexicographic order.
 func (t *Table) Keywords() []string {
-	out := make([]string, len(t.active))
-	for i, id := range t.active {
-		out[i] = t.in.Word(id)
+	out := make([]string, 0, t.count)
+	for wi, w := range t.present {
+		for w != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			out = append(out, t.in.Word(id))
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Entry returns the row for kw, or nil.
-func (t *Table) Entry(kw string) *Entry {
+// Row returns a value copy of kw's row; ok is false when absent.
+func (t *Table) Row(kw string) (Row, bool) {
 	id, ok := t.in.Lookup(kw)
-	if !ok {
-		return nil
+	if !ok || !t.present.test(id) {
+		return Row{}, false
 	}
-	return t.row(id)
+	return Row{
+		Weight:       t.weights[id],
+		Direct:       t.direct.test(id),
+		LastShared:   t.lastShared[id],
+		AcquiredFrom: t.source[id],
+	}, true
+}
+
+// SetWeight overwrites kw's stored anchor weight without touching its
+// anchor time — the raw row access tests and demos use to stage table
+// states. It is a no-op for absent keywords.
+func (t *Table) SetWeight(kw string, w float64) {
+	id, ok := t.in.Lookup(kw)
+	if !ok || !t.present.test(id) {
+		return
+	}
+	t.version++
+	t.weights[id] = w
+	if !t.direct.test(id) {
+		t.mergeDeath(w, t.lastShared[id])
+	}
+}
+
+// SetLastShared overwrites kw's anchor time T_l (raw row access for tests
+// and demos). It is a no-op for absent keywords.
+func (t *Table) SetLastShared(kw string, at time.Duration) {
+	id, ok := t.in.Lookup(kw)
+	if !ok || !t.present.test(id) {
+		return
+	}
+	t.version++
+	t.lastShared[id] = at
+	if !t.direct.test(id) {
+		t.mergeDeath(t.weights[id], at)
+	}
 }
 
 // Has reports whether the table holds kw (direct or transient).
-func (t *Table) Has(kw string) bool { return t.Entry(kw) != nil }
+func (t *Table) Has(kw string) bool {
+	id, ok := t.in.Lookup(kw)
+	return ok && t.present.test(id)
+}
 
-// Weight returns the current weight for kw (zero when absent).
+// Weight returns the current weight for kw (zero when absent): the
+// materialized time-decayed value on clock-attached tables, the stored
+// anchor weight otherwise.
 func (t *Table) Weight(kw string) float64 {
-	if e := t.Entry(kw); e != nil {
-		return e.Weight
+	if t.clock != nil {
+		return t.WeightAt(kw, t.clock.Now())
 	}
-	return 0
+	id, ok := t.in.Lookup(kw)
+	if !ok || !t.present.test(id) {
+		return 0
+	}
+	return t.weights[id]
+}
+
+// WeightAt returns kw's weight materialized at the explicit time now (zero
+// when absent), regardless of any attached clock.
+func (t *Table) WeightAt(kw string, now time.Duration) float64 {
+	id, ok := t.in.Lookup(kw)
+	if !ok || !t.present.test(id) {
+		return 0
+	}
+	return t.materialized(id, now)
 }
 
 // HasDirect reports whether kw is a user-declared interest.
 func (t *Table) HasDirect(kw string) bool {
-	e := t.Entry(kw)
-	return e != nil && e.Direct
+	id, ok := t.in.Lookup(kw)
+	return ok && t.direct.test(id)
 }
 
 // SumWeights returns S: the sum of weights over the given keywords, the
@@ -264,10 +449,24 @@ func (t *Table) SumWeights(keywords []string) float64 {
 
 // SumWeightsIDs is the interned-ID fast path of SumWeights.
 func (t *Table) SumWeightsIDs(ids []int32) float64 {
+	if t.clock != nil {
+		return t.SumWeightsIDsAt(ids, t.clock.Now())
+	}
 	var s float64
 	for _, id := range ids {
-		if e := t.row(id); e != nil {
-			s += e.Weight
+		if t.present.test(id) {
+			s += t.weights[id]
+		}
+	}
+	return s
+}
+
+// SumWeightsIDsAt is SumWeightsIDs materialized at an explicit time.
+func (t *Table) SumWeightsIDsAt(ids []int32, now time.Duration) float64 {
+	var s float64
+	for _, id := range ids {
+		if t.present.test(id) {
+			s += t.materialized(id, now)
 		}
 	}
 	return s
@@ -277,7 +476,7 @@ func (t *Table) SumWeightsIDs(ids []int32) float64 {
 // ChitChat destination test.
 func (t *Table) HasDirectAnyID(ids []int32) bool {
 	for _, id := range ids {
-		if e := t.row(id); e != nil && e.Direct {
+		if t.direct.test(id) {
 			return true
 		}
 	}
@@ -301,53 +500,55 @@ func (t *Table) MeanWeightIDs(ids []int32) float64 {
 	return t.SumWeightsIDs(ids) / float64(len(ids))
 }
 
-// Decay applies the decay algorithm (Paper I, Algorithm 1) at time now.
-// connected is the union of keywords shared by currently connected devices:
-// those entries keep their weight and refresh T_l; the rest decay.
+// Decay applies the decay algorithm (Paper I, Algorithm 1) eagerly at time
+// now. connected is the union of keywords shared by currently connected
+// devices: those entries keep their weight and refresh T_l; the rest are
+// re-anchored at their materialized value — weight and T_l written together,
+// so repeated Decay calls measure each interval exactly once. (The
+// historical implementation wrote the decayed weight but kept the old T_l,
+// so back-to-back sweeps compounded: total decay depended on how often the
+// caller happened to run, not on elapsed time.)
 //
-// Edge-case guard (documented in DESIGN.md): the printed divisor β·(T_c-T_l)
-// amplifies weights when below one (e.g. a sub-second gap); we clamp the
-// divisor to at least 1 so decay is monotone non-increasing.
+// The engine's exchange path no longer calls this — rounds go through
+// ExchangePlan and reads materialize lazily — but the operator façade
+// (Device.DecayWeights) and the equivalence tests keep the eager form.
 func (t *Table) Decay(now time.Duration, connected map[string]bool) {
 	t.version++
-	var prune []int32
-	for _, id := range t.active {
-		e := t.rows[id]
-		if connected[t.in.Word(id)] {
-			e.LastShared = now
-			continue
-		}
-		if t.decayRow(e, now) {
-			prune = append(prune, id)
+	prune := t.pruneScratch[:0]
+	for wi, w := range t.present {
+		m := w
+		for m != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+			if connected[t.in.Word(id)] {
+				t.lastShared[id] = now
+				continue
+			}
+			if t.reanchor(id, now) {
+				prune = append(prune, id)
+			}
 		}
 	}
 	for _, id := range prune {
-		t.remove(id)
+		t.removeRow(id)
 	}
+	t.pruneScratch = prune
 }
 
-// decayRow applies the decay formula to one entry and reports whether the
-// (transient) entry fell below the prune threshold.
-func (t *Table) decayRow(e *Entry, now time.Duration) bool {
-	w, prune := decayValue(t.params, e, now)
-	e.Weight = w
-	return prune
-}
-
-// decayValue computes the decay outcome for one row without mutating it —
-// the shared formula behind decayRow and the side-effect-free exchange
-// scoring (ExchangePlan). It returns the new weight and whether the
-// (transient) entry fell below the prune threshold.
-func decayValue(params Params, e *Entry, now time.Duration) (float64, bool) {
-	div := params.Beta * (now - e.LastShared).Seconds()
-	if div < 1 {
-		return e.Weight, false
+// reanchor materializes one row at now and re-anchors it there, reporting
+// whether the (transient) row is dead instead of writing it.
+func (t *Table) reanchor(id int32, now time.Duration) bool {
+	direct := t.direct.test(id)
+	w, dead := decayedWeight(t.params, t.weights[id], direct, now-t.lastShared[id])
+	if dead {
+		return true
 	}
-	if e.Direct {
-		return (e.Weight-InitialWeight)/div + InitialWeight, false
+	t.weights[id] = w
+	t.lastShared[id] = now
+	if !direct {
+		t.mergeDeath(w, now)
 	}
-	w := e.Weight / div
-	return w, w < params.PruneBelow
+	return false
 }
 
 // PeerView is the decayed weight snapshot a connected device shares during
@@ -383,36 +584,54 @@ func (t *Table) Grow(now time.Duration, peers []PeerView) {
 			}
 		}
 	}
-	for _, id := range t.active {
-		e := t.rows[id]
-		kw := t.in.Word(id)
-		var delta float64
-		shared := false
-		for _, pv := range peers {
-			w, ok := pv.Weights[kw]
-			if !ok {
-				continue
+	for wi, w := range t.present {
+		m := w
+		for m != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+			kw := t.in.Word(id)
+			var delta float64
+			shared := false
+			for _, pv := range peers {
+				pw, ok := pv.Weights[kw]
+				if !ok {
+					continue
+				}
+				shared = true
+				psi := psiCase(t.direct.test(id), pw.Direct)
+				delta += pw.Weight * t.params.GrowthRate * pv.ConnectedFor.Seconds() / float64(psi)
 			}
-			shared = true
-			psi := psiCase(e.Direct, w.Direct)
-			delta += w.Weight * t.params.GrowthRate * pv.ConnectedFor.Seconds() / float64(psi)
-		}
-		if shared {
-			e.LastShared = now
-		}
-		e.Weight += delta
-		if e.Weight > MaxWeight {
-			e.Weight = MaxWeight
+			if shared {
+				t.lastShared[id] = now
+			}
+			nw := t.weights[id] + delta
+			if nw > MaxWeight {
+				nw = MaxWeight
+			}
+			t.weights[id] = nw
 		}
 	}
 }
 
-// Snapshot exports the table for the RTSR exchange.
+// Snapshot exports the table for the RTSR exchange: materialized weights on
+// clock-attached tables, stored anchors otherwise.
 func (t *Table) Snapshot() map[string]PeerWeight {
-	out := make(map[string]PeerWeight, len(t.active))
-	for _, id := range t.active {
-		e := t.rows[id]
-		out[t.in.Word(id)] = PeerWeight{Weight: e.Weight, Direct: e.Direct}
+	var now time.Duration
+	lazy := t.clock != nil
+	if lazy {
+		now = t.clock.Now()
+	}
+	out := make(map[string]PeerWeight, t.count)
+	for wi, w := range t.present {
+		for w != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			wt := t.weights[id]
+			if lazy {
+				wt = t.materialized(id, now)
+			}
+			out[t.in.Word(id)] = PeerWeight{Weight: wt, Direct: t.direct.test(id)}
+		}
 	}
 	return out
 }
@@ -423,8 +642,8 @@ func (t *Table) Snapshot() map[string]PeerWeight {
 // interest, ψ is 2"); the remaining assignments extend the pattern: growth
 // is fastest when both sides truly care, slowest when the interest is
 // second-hand on both sides. Cases 5 and 6 (u does not yet hold I) apply to
-// freshly acquired entries, which Grow creates as transient before the loop,
-// so they are reached via the transient rows' first growth round.
+// freshly acquired entries, which the exchange creates as transient before
+// growing, so they are reached via the transient rows' first growth round.
 func psiCase(localDirect, peerDirect bool) int {
 	switch {
 	case localDirect && peerDirect:

@@ -59,8 +59,8 @@ func TestDeclareDirectInitialWeight(t *testing.T) {
 func TestAcquireStartsAtZeroTransient(t *testing.T) {
 	tab := newTable(t)
 	tab.Acquire("news", ident.NodeID(5), time.Second)
-	e := tab.Entry("news")
-	if e == nil {
+	e, ok := tab.Row("news")
+	if !ok {
 		t.Fatal("entry missing")
 	}
 	if e.Weight != 0 || e.Direct || e.AcquiredFrom != ident.NodeID(5) {
@@ -68,7 +68,7 @@ func TestAcquireStartsAtZeroTransient(t *testing.T) {
 	}
 	// Acquiring again is a no-op.
 	tab.Acquire("news", ident.NodeID(9), 2*time.Second)
-	if tab.Entry("news").AcquiredFrom != ident.NodeID(5) {
+	if e, _ := tab.Row("news"); e.AcquiredFrom != ident.NodeID(5) {
 		t.Error("re-acquire overwrote provenance")
 	}
 }
@@ -76,10 +76,10 @@ func TestAcquireStartsAtZeroTransient(t *testing.T) {
 func TestPromoteTransientToDirect(t *testing.T) {
 	tab := newTable(t)
 	tab.Acquire("news", ident.NodeID(5), 0)
-	tab.Entry("news").Weight = 0.2
+	tab.SetWeight("news", 0.2)
 	tab.DeclareDirect("news", time.Second)
-	e := tab.Entry("news")
-	if !e.Direct {
+	e, ok := tab.Row("news")
+	if !ok || !e.Direct {
 		t.Error("promotion failed")
 	}
 	if e.Weight != InitialWeight {
@@ -87,7 +87,7 @@ func TestPromoteTransientToDirect(t *testing.T) {
 	}
 	// Promotion must keep a higher existing weight.
 	tab.Acquire("hot", ident.NodeID(5), 0)
-	tab.Entry("hot").Weight = 0.9
+	tab.SetWeight("hot", 0.9)
 	tab.DeclareDirect("hot", time.Second)
 	if w := tab.Weight("hot"); w != 0.9 {
 		t.Errorf("promoted weight = %v, want 0.9 kept", w)
@@ -104,8 +104,7 @@ func TestPromoteTransientToDirect(t *testing.T) {
 func TestDecayPaperExample(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("food coupon", 0)
-	tab.Entry("food coupon").Weight = 0.6
-	tab.Entry("food coupon").LastShared = 0
+	tab.SetWeight("food coupon", 0.6)
 	tab.Decay(5*time.Second, nil)
 	want := (0.6-0.5)/(2*5) + 0.5
 	if got := tab.Weight("food coupon"); math.Abs(got-want) > 1e-12 {
@@ -116,7 +115,7 @@ func TestDecayPaperExample(t *testing.T) {
 func TestDecayDirectApproachesHalf(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("a", 0)
-	tab.Entry("a").Weight = 1.0
+	tab.SetWeight("a", 1.0)
 	tab.Decay(1000*time.Second, nil)
 	w := tab.Weight("a")
 	if w < 0.5 || w > 0.51 {
@@ -127,7 +126,7 @@ func TestDecayDirectApproachesHalf(t *testing.T) {
 func TestDecayTransientApproachesZeroAndPrunes(t *testing.T) {
 	tab := newTable(t)
 	tab.Acquire("a", 1, 0)
-	tab.Entry("a").Weight = 0.4
+	tab.SetWeight("a", 0.4)
 	tab.Decay(1000*time.Second, nil)
 	if tab.Has("a") {
 		t.Error("deep-decayed transient entry should be pruned")
@@ -137,7 +136,7 @@ func TestDecayTransientApproachesZeroAndPrunes(t *testing.T) {
 func TestDecayConnectedKeywordHolds(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("a", 0)
-	tab.Entry("a").Weight = 0.9
+	tab.SetWeight("a", 0.9)
 	tab.Decay(100*time.Second, map[string]bool{"a": true})
 	if w := tab.Weight("a"); w != 0.9 {
 		t.Errorf("connected keyword decayed: %v", w)
@@ -155,7 +154,7 @@ func TestDecayConnectedKeywordHolds(t *testing.T) {
 func TestDecayGuardSubUnitDivisor(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("a", 0)
-	tab.Entry("a").Weight = 0.6
+	tab.SetWeight("a", 0.6)
 	// β·ΔT = 2·0.25 = 0.5 < 1 would amplify; the guard keeps the weight.
 	tab.Decay(250*time.Millisecond, nil)
 	if w := tab.Weight("a"); w != 0.6 {
@@ -203,8 +202,8 @@ func TestGrowthAcquiresUnknownKeywords(t *testing.T) {
 		Weights:      map[string]PeerWeight{"new": {Weight: 0.8, Direct: true}},
 	}
 	tab.Grow(time.Minute, []PeerView{view})
-	e := tab.Entry("new")
-	if e == nil {
+	e, ok := tab.Row("new")
+	if !ok {
 		t.Fatal("unknown keyword not acquired")
 	}
 	if e.Direct {
@@ -221,7 +220,7 @@ func TestGrowthAcquiresUnknownKeywords(t *testing.T) {
 func TestWeightsCappedAtMax(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("a", 0)
-	tab.Entry("a").Weight = 0.99
+	tab.SetWeight("a", 0.99)
 	view := PeerView{
 		Peer:         ident.NodeID(2),
 		ConnectedFor: time.Hour,
@@ -253,7 +252,7 @@ func TestIDFastPathsMatchStringPaths(t *testing.T) {
 	tab := newTable(t)
 	tab.DeclareDirect("a", 0)
 	tab.Acquire("b", 1, 0)
-	tab.Entry("b").Weight = 0.3
+	tab.SetWeight("b", 0.3)
 	in := tab.Interner()
 	kws := []string{"a", "b", "c"}
 	ids := in.IDs(nil, kws)
@@ -296,6 +295,144 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if snap["b"].Direct {
 		t.Error("snapshot[b] must be transient")
+	}
+}
+
+// testClock is a settable interest.Clock for exercising lazy reads.
+type testClock struct{ now time.Duration }
+
+func (c *testClock) Now() time.Duration { return c.now }
+
+// TestDeclareDirectPromotionRefreshesAnchor is the regression test for the
+// promotion bug: promoting a transient entry must re-anchor T_l at the
+// declaration time, otherwise the promoted weight decays against the stale
+// transient anchor and the direct bonus collapses toward 0.5 on the very
+// next decay.
+func TestDeclareDirectPromotionRefreshesAnchor(t *testing.T) {
+	tab := newTable(t)
+	tab.Acquire("news", ident.NodeID(5), 0)
+	tab.SetWeight("news", 0.9)
+	promoted := 100 * time.Second
+	tab.DeclareDirect("news", promoted)
+	e, ok := tab.Row("news")
+	if !ok || !e.Direct {
+		t.Fatal("promotion failed")
+	}
+	if e.LastShared != promoted {
+		t.Fatalf("promoted LastShared = %v, want re-anchored at %v", e.LastShared, promoted)
+	}
+	// Decay 5 s after the promotion: div = 2·5 = 10, so the weight must be
+	// (0.9-0.5)/10 + 0.5 = 0.54. Against the stale anchor the divisor would
+	// be 2·105 = 210 and the bonus would collapse to ≈0.502.
+	tab.Decay(105*time.Second, nil)
+	if w, want := tab.Weight("news"), (0.9-0.5)/10+0.5; math.Abs(w-want) > 1e-12 {
+		t.Errorf("post-promotion decay = %v, want %v", w, want)
+	}
+}
+
+// TestDeclareDirectPromotionMaterializesLazyWeight: with a clock attached
+// the promoted weight must be the currently observed (decayed) value, not
+// the stale stored anchor — promotion re-anchors what the user sees.
+func TestDeclareDirectPromotionMaterializesLazyWeight(t *testing.T) {
+	tab := newTable(t)
+	clk := &testClock{}
+	tab.SetClock(clk)
+	tab.Acquire("news", ident.NodeID(5), 0)
+	tab.SetWeight("news", 0.9)
+	clk.now = 10 * time.Second
+	// Observed transient weight at 10 s: 0.9/(2·10) = 0.045 < 0.5 → the
+	// promotion must raise it to InitialWeight, not keep the 0.9 anchor.
+	tab.DeclareDirect("news", clk.now)
+	e, _ := tab.Row("news")
+	if e.Weight != InitialWeight {
+		t.Errorf("promoted anchor weight = %v, want %v (materialized then raised)", e.Weight, InitialWeight)
+	}
+	if e.LastShared != clk.now {
+		t.Errorf("promoted LastShared = %v, want %v", e.LastShared, clk.now)
+	}
+}
+
+// TestDecayReusesPruneScratch is the regression test for the per-call prune
+// slice churn: a steady-state Decay — including one that prunes rows — must
+// not allocate.
+func TestDecayReusesPruneScratch(t *testing.T) {
+	tab := newTable(t)
+	words := []string{"a", "b", "c", "d"}
+	now := time.Duration(0)
+	reload := func() {
+		for _, kw := range words {
+			tab.Acquire(kw, 1, now)
+			tab.SetWeight(kw, 0.4)
+		}
+	}
+	// Warm the payload slices, bitsets, and prune scratch once.
+	reload()
+	now += 1000 * time.Second
+	tab.Decay(now, nil)
+	if tab.Len() != 0 {
+		t.Fatal("warm-up decay did not prune")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		reload()
+		now += 1000 * time.Second
+		tab.Decay(now, nil) // prunes all four rows every run
+	})
+	if allocs != 0 {
+		t.Errorf("Decay allocated %v objects per run, want 0", allocs)
+	}
+}
+
+// TestPruneAtThresholdKept pins the strict-< prune comparison: a transient
+// weight that decays to exactly PruneBelow survives; one ulp of further
+// decay evicts it.
+func TestPruneAtThresholdKept(t *testing.T) {
+	tab := newTable(t) // θ = 0.01
+	tab.Acquire("a", 1, 0)
+	tab.SetWeight("a", 0.02)
+	// div = 2·1 = 2 → 0.02/2 = 0.01 = θ exactly: kept.
+	tab.Decay(time.Second, nil)
+	if !tab.Has("a") {
+		t.Fatal("row at exactly the prune threshold must survive")
+	}
+	if w := tab.Weight("a"); w != 0.01 {
+		t.Fatalf("threshold weight = %v, want 0.01", w)
+	}
+	// From the re-anchored 0.01, any further decay goes below θ: evicted.
+	tab.Decay(2*time.Second, nil)
+	if tab.Has("a") {
+		t.Error("row below the prune threshold must be evicted")
+	}
+}
+
+// TestLazyReadsMaterializeWithClock: a clock-attached table's read paths
+// (Weight, SumWeightsIDs, Snapshot) return the time-decayed value while the
+// stored anchor row stays untouched; the clockless table keeps the
+// historical stored-value behaviour.
+func TestLazyReadsMaterializeWithClock(t *testing.T) {
+	tab := newTable(t)
+	clk := &testClock{}
+	tab.SetClock(clk)
+	tab.DeclareDirect("a", 0)
+	tab.SetWeight("a", 0.9)
+	clk.now = 5 * time.Second
+	want := (0.9-0.5)/(2*5) + 0.5 // one decay step over the 5 s gap
+	if w := tab.Weight("a"); math.Abs(w-want) > 1e-12 {
+		t.Errorf("lazy Weight = %v, want %v", w, want)
+	}
+	ids := tab.Interner().IDs(nil, []string{"a"})
+	if s := tab.SumWeightsIDs(ids); math.Abs(s-want) > 1e-12 {
+		t.Errorf("lazy SumWeightsIDs = %v, want %v", s, want)
+	}
+	if snap := tab.Snapshot(); math.Abs(snap["a"].Weight-want) > 1e-12 {
+		t.Errorf("lazy Snapshot = %v, want %v", snap["a"].Weight, want)
+	}
+	// The stored anchor is untouched: reads are pure.
+	if e, _ := tab.Row("a"); e.Weight != 0.9 || e.LastShared != 0 {
+		t.Errorf("anchor mutated by reads: %+v", e)
+	}
+	// Same weight read at the same instant through the explicit-time API.
+	if w := tab.WeightAt("a", clk.now); math.Abs(w-want) > 1e-12 {
+		t.Errorf("WeightAt = %v, want %v", w, want)
 	}
 }
 

@@ -1,31 +1,38 @@
 package interest
 
 import (
-	"sort"
+	"math"
+	"math/bits"
 	"time"
 
 	"dtnsim/internal/ident"
 )
 
-// This file holds the side-effect-free half of the pairwise RTSR exchange.
-// ExchangeGrow (exchange.go) mutates both tables in place; ExchangePlan
-// computes exactly the same outcome — decayed weights, growth deltas, prune
-// and acquisition sets — without touching either table, so the engine can
-// score many contacts concurrently and serialize only the (cheap) writes.
+// This file holds the pairwise RTSR exchange round over the lazy
+// struct-of-arrays tables. ExchangePlan.Score computes the full outcome of
+// one round — eviction sweeps, shared-row refreshes, growth, acquisitions —
+// without touching either table; Apply serializes the writes. ExchangeGrow
+// (exchange.go) is now a thin Score+Apply wrapper, so the parallel scored
+// path and the serial fallback are the same implementation by construction
+// and cannot drift apart.
 //
-// The concurrency scheme is optimistic: Score records a counter for every
-// table it read — the full version counter for the two endpoints (whose
-// weights and flags it read) and only the shape counter for the other
-// connected peers (whose rows it probed purely for membership). A plan may
-// be applied only while StillValid reports true; if an earlier contact in
-// the serial apply pass mutated any of those tables in a way the plan could
-// observe, the engine discards the plan and recomputes that contact
-// serially with ExchangeGrow. The shape distinction matters: most exchanges
-// only rewrite weights, so they leave neighbouring plans valid and the
-// stale-fallback rate stays low even in dense clusters. Both paths are
-// bit-identical — Score mirrors ExchangeGrow's exact floating-point
-// operation order — which is what keeps event traces byte-identical across
-// worker counts.
+// Under lazy decay a round never rewrites unshared rows: their stored
+// anchors already encode the decayed value (readers materialize it), so the
+// round touches only rows whose anchor actually moves — shared rows
+// (refresh), mutually-held rows (growth), partner-only rows (acquisition) —
+// plus the eviction sweep when the table's nextDeath deadline has passed.
+// The historical eager round rewrote every row of both tables and probed
+// every (row, peer) pair; this one is bitset algebra plus O(touched rows).
+//
+// The concurrency scheme is optimistic and unchanged: Score records a
+// counter for every table it read — the full version counter for the two
+// endpoints (whose weights, anchors, and deadline it read) and only the
+// shape counter for the other connected peers (whose presence masks it
+// read). A plan may be applied only while StillValid reports true;
+// otherwise the engine re-scores the contact serially. Scoring preserves
+// the eager round's ordering asymmetry: side a is scored first, seeing
+// every peer's (including b's) pre-sweep membership; side b is scored
+// second, seeing a's post-sweep membership via a's freshly scored plan.
 
 // ExchangePlan is a reusable scored-but-unapplied pairwise exchange.
 // Not safe for concurrent use; the engine keeps one per contact.
@@ -45,35 +52,29 @@ type ExchangePlan struct {
 	peerShapes []uint64
 }
 
-// tablePlan is the pending outcome for one endpoint: parallel slices over
-// the table's active IDs at Score time, plus the acquisition list.
+// tablePlan is the pending outcome for one endpoint: the touched-row sets
+// of the round, as bitsets and ID lists over the table's interned IDs.
 type tablePlan struct {
-	ids     []int32   // snapshot of t.active, ascending
-	decayed []float64 // weight after the decay phase
-	final   []float64 // weight after growth (== decayed when not grown)
-	refresh []bool    // LastShared := now on apply
-	prune   []bool    // remove on apply (transient rows only)
-
-	acqIDs []int32   // keywords acquired from the partner, ascending
-	acqW   []float64 // their first-growth weights
-}
-
-func (p *tablePlan) reset() {
-	p.ids = p.ids[:0]
-	p.decayed = p.decayed[:0]
-	p.final = p.final[:0]
-	p.refresh = p.refresh[:0]
-	p.prune = p.prune[:0]
-	p.acqIDs = p.acqIDs[:0]
-	p.acqW = p.acqW[:0]
-}
-
-// alive reports whether id survives this plan's decay phase — the
-// post-decay membership test the serial path gets by reading the partner's
-// table after DecayAgainst ran.
-func (p *tablePlan) alive(id int32) bool {
-	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
-	return i < len(p.ids) && p.ids[i] == id && !p.prune[i]
+	// shared marks the rows held by at least one connected peer; Apply
+	// refreshes their anchor time to now.
+	shared bitset
+	// evictSet marks the transient rows the sweep found dead; swept is
+	// whether the sweep ran (the table's nextDeath deadline had passed) and
+	// evicted counts the marked rows. sweepDeath is the min death bound of
+	// the sweep's surviving candidates, folded into the fresh table deadline
+	// by apply — the sweep walk computes it in passing so no separate
+	// recompute pass over the table is needed.
+	evictSet   bitset
+	evicted    int
+	swept      bool
+	sweepDeath time.Duration
+	// growIDs/growW are the mutually-held rows and their post-growth
+	// anchor weights; acqIDs/acqW the partner-only rows acquired this
+	// round with their first-growth weights. Both ascending by ID.
+	growIDs []int32
+	growW   []float64
+	acqIDs  []int32
+	acqW    []float64
 }
 
 // Score computes the full exchange outcome for a contact that has lasted dt
@@ -86,22 +87,29 @@ func (p *ExchangePlan) Score(a, b *Table, aID, bID ident.NodeID, aPeers, bPeers 
 	p.a, p.b, p.aID, p.bID, p.now = a, b, aID, bID, now
 	p.captureVersions(a, b, aPeers, bPeers)
 
-	// Decay phase, preserving ExchangeGrow's ordering asymmetry: a decays
-	// first, seeing every peer (including b) pre-decay; b decays second,
-	// seeing a's membership post-decay — via a's freshly scored plan — and
-	// every other peer pre-decay.
-	p.aPlan.scoreDecay(a, now, aPeers, nil, nil)
-	p.bPlan.scoreDecay(b, now, bPeers, a, &p.aPlan)
+	// Sweep/refresh phase, preserving the eager round's ordering asymmetry:
+	// a is scored first, seeing every peer (including b) pre-sweep; b is
+	// scored second, seeing a's membership post-sweep via a's plan, and
+	// every other peer pre-sweep.
+	p.aPlan.scoreRound(a, now, aPeers, nil, nil)
+	if p.aPlan.evicted > 0 {
+		p.bPlan.scoreRound(b, now, bPeers, a, &p.aPlan)
+	} else {
+		// a's post-sweep membership equals its live membership, so b's
+		// round needs no partner substitution.
+		p.bPlan.scoreRound(b, now, bPeers, nil, nil)
+	}
 
-	// Growth phase: both deltas read the other side's decayed-but-not-grown
-	// weights, and grow only keywords alive on both sides post-decay.
+	// Growth phase: both deltas read the other side's anchor weights —
+	// mutually-held rows are shared on both sides, so their anchors are
+	// exactly the eager round's decayed-and-refreshed values.
 	scoreGrowth(&p.aPlan, &p.bPlan, a, b, dt)
 
-	// Acquisition phase: each side acquires the keywords only the partner
-	// holds post-decay, at the partner's post-growth weight.
+	// Acquisition phase: each side acquires the rows only the partner
+	// holds post-sweep, at the partner's observed (materialized) weight.
 	sec := dt.Seconds()
-	p.aPlan.scoreAcquisitions(&p.bPlan, b, a.params.GrowthRate, sec)
-	p.bPlan.scoreAcquisitions(&p.aPlan, a, b.params.GrowthRate, sec)
+	p.aPlan.scoreAcquisitions(a, &p.bPlan, b, now, a.params.GrowthRate, sec)
+	p.bPlan.scoreAcquisitions(b, &p.aPlan, a, now, b.params.GrowthRate, sec)
 }
 
 func (p *ExchangePlan) captureVersions(a, b *Table, aPeers, bPeers []*Table) {
@@ -131,7 +139,7 @@ func (p *ExchangePlan) recordPeer(t, partner *Table) {
 // StillValid reports whether nothing Score read has changed since: the
 // endpoints' tables are unmutated and the peers' memberships are unchanged
 // (peer weight updates are invisible to a plan and do not invalidate it).
-// A stale plan must be discarded; the engine falls back to ExchangeGrow.
+// A stale plan must be discarded and the contact re-scored.
 func (p *ExchangePlan) StillValid() bool {
 	for i, t := range p.tables {
 		if t.version != p.versions[i] {
@@ -153,109 +161,310 @@ func (p *ExchangePlan) Apply() {
 	p.bPlan.apply(p.b, p.aID, p.now)
 }
 
-// scoreDecay runs Algorithm 1 for t without mutating it. partner/partnerPlan,
-// when non-nil, substitute the partner's post-decay membership for its live
+// Evictions reports how many rows the plan's sweeps evicted; valid after
+// Score until the next Score.
+func (p *ExchangePlan) Evictions() int { return p.aPlan.evicted + p.bPlan.evicted }
+
+// Sweeps reports how many of the two endpoints ran an eviction sweep this
+// round (0–2); valid after Score until the next Score.
+func (p *ExchangePlan) Sweeps() int {
+	n := 0
+	if p.aPlan.swept {
+		n++
+	}
+	if p.bPlan.swept {
+		n++
+	}
+	return n
+}
+
+// scoreRound computes one endpoint's shared mask and, when the table's
+// eviction deadline has passed, its dead-row sweep. partner/partnerPlan,
+// when non-nil, substitute the partner's post-sweep membership for its live
 // rows wherever the peer list names the partner.
-func (p *tablePlan) scoreDecay(t *Table, now time.Duration, peers []*Table, partner *Table, partnerPlan *tablePlan) {
-	p.reset()
-	for _, id := range t.active {
-		e := t.rows[id]
-		shared := false
+func (p *tablePlan) scoreRound(t *Table, now time.Duration, peers []*Table, partner *Table, partnerPlan *tablePlan) {
+	nw := len(t.present)
+	p.shared = p.shared.reset(nw)
+	p.evictSet = p.evictSet.reset(nw)
+	p.evicted = 0
+	p.growIDs = p.growIDs[:0]
+	p.growW = p.growW[:0]
+	p.acqIDs = p.acqIDs[:0]
+	p.acqW = p.acqW[:0]
+
+	// shared = t.present ∩ (∪ peers.present), 64 rows per word. Algorithm
+	// 1's "if a device with I is connected": these rows hold their weight
+	// and refresh T_l; everything else keeps decaying lazily.
+	for wi := 0; wi < nw; wi++ {
+		var u uint64
 		for _, peer := range peers {
+			pw := peer.present.word(wi)
 			if peer == partner {
-				if partnerPlan.alive(id) {
-					shared = true
-					break
-				}
+				pw &^= partnerPlan.evictSet.word(wi)
+			}
+			u |= pw
+		}
+		p.shared[wi] = t.present[wi] & u
+	}
+
+	// Eviction sweep, only when a transient row could have died since the
+	// last sweep. Candidates are unshared transient rows — shared rows are
+	// held regardless of weight, exactly as the eager round held them —
+	// and deadRow is the same formula the eager prune used, so the sweep
+	// evicts exactly the rows the eager per-round pass would have.
+	p.swept = t.params.PruneBelow > 0 && now >= t.nextDeath
+	if !p.swept {
+		return
+	}
+	p.sweepDeath = noDeath
+	for wi := 0; wi < nw; wi++ {
+		m := t.present[wi] &^ t.direct.word(wi) &^ p.shared[wi]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			id := int32(wi<<6 + b)
+			if t.deadRow(id, now) {
+				p.evictSet[wi] |= 1 << uint(b)
+				p.evicted++
+			} else if d := t.deathBound(t.weights[id], t.lastShared[id]); d < p.sweepDeath {
+				// Survivors keep their stored (w, T_l) through Apply — they
+				// are by construction unshared, not grown, not acquired — so
+				// their bounds can be folded into the new deadline here, in
+				// the walk that already visits them.
+				p.sweepDeath = d
+			}
+		}
+	}
+}
+
+// scoreGrowth fills both plans' growth lists: every row alive on both sides
+// post-sweep grows from the other side's anchor weight, reproducing the
+// eager growthDeltas+applyDeltas arithmetic bit for bit.
+func scoreGrowth(aPlan, bPlan *tablePlan, a, b *Table, dt time.Duration) {
+	sec := dt.Seconds()
+	nw := len(a.present)
+	if n := len(b.present); n < nw {
+		nw = n
+	}
+	// Evicted rows must not grow, but an empty eviction set (the common
+	// round: no sweep ran, or it found nothing) masks nothing — skip the
+	// word loads entirely then.
+	aEv, bEv := aPlan.evicted > 0, bPlan.evicted > 0
+	// Count the mutually-held rows first so one reservation covers every
+	// append target; a freshly created contact's plan otherwise climbs a
+	// growslice ladder on each of the four slices.
+	n := 0
+	for wi := 0; wi < nw; wi++ {
+		g := a.present[wi] & b.present[wi]
+		if aEv {
+			g &^= aPlan.evictSet.word(wi)
+		}
+		if bEv {
+			g &^= bPlan.evictSet.word(wi)
+		}
+		n += bits.OnesCount64(g)
+	}
+	if n == 0 {
+		return
+	}
+	aPlan.growIDs, aPlan.growW = reserveRows(aPlan.growIDs, aPlan.growW, n)
+	bPlan.growIDs, bPlan.growW = reserveRows(bPlan.growIDs, bPlan.growW, n)
+	aRate, bRate := a.params.GrowthRate, b.params.GrowthRate
+	for wi := 0; wi < nw; wi++ {
+		g := a.present[wi] & b.present[wi]
+		if aEv {
+			g &^= aPlan.evictSet.word(wi)
+		}
+		if bEv {
+			g &^= bPlan.evictSet.word(wi)
+		}
+		if g == 0 {
+			continue
+		}
+		aDirW, bDirW := a.direct.word(wi), b.direct.word(wi)
+		base := int32(wi << 6)
+		for g != 0 {
+			bit := uint(bits.TrailingZeros64(g))
+			g &= g - 1
+			id := base + int32(bit)
+			aw, bw := a.weights[id], b.weights[id]
+			// A row exactly at MaxWeight can only stay there: deltas are
+			// ≥ 0 and clamped, so clampWeight(MaxWeight+Δ) == MaxWeight and
+			// the write would be a no-op. Skipping it drops the dominant
+			// per-row cost (two float divisions) once the weight-saturation
+			// dynamic (DESIGN.md) has pushed dense-network tables to 1.0.
+			// Out-of-range weights (!= rather than >=) still take the full
+			// compute-and-clamp path, matching the eager arithmetic.
+			if aw == MaxWeight && bw == MaxWeight {
 				continue
 			}
-			if peer.row(id) != nil {
-				shared = true
-				break
+			aDirBit, bDirBit := aDirW>>bit&1, bDirW>>bit&1
+			if aw != MaxWeight {
+				aDelta := growthDeltaIdx(bw*aRate*sec, aDirBit<<1|bDirBit)
+				aPlan.growIDs = append(aPlan.growIDs, id)
+				aPlan.growW = append(aPlan.growW, clampWeight(aw+aDelta))
+			}
+			if bw != MaxWeight {
+				bDelta := growthDeltaIdx(aw*bRate*sec, bDirBit<<1|aDirBit)
+				bPlan.growIDs = append(bPlan.growIDs, id)
+				bPlan.growW = append(bPlan.growW, clampWeight(bw+bDelta))
 			}
 		}
-		p.ids = append(p.ids, id)
-		if shared {
-			p.decayed = append(p.decayed, e.Weight)
-			p.refresh = append(p.refresh, true)
-			p.prune = append(p.prune, false)
-			continue
-		}
-		w, pr := decayValue(t.params, e, now)
-		p.decayed = append(p.decayed, w)
-		p.refresh = append(p.refresh, false)
-		p.prune = append(p.prune, pr)
 	}
 }
 
-// scoreGrowth fills both plans' final weights: a merge over the two sorted
-// ID snapshots applies the growth increment wherever a keyword is alive on
-// both sides post-decay, reproducing growthDeltas+applyDeltas bit for bit.
-func scoreGrowth(aPlan, bPlan *tablePlan, a, b *Table, dt time.Duration) {
-	aPlan.final = append(aPlan.final, aPlan.decayed...)
-	bPlan.final = append(bPlan.final, bPlan.decayed...)
-	sec := dt.Seconds()
-	i, j := 0, 0
-	for i < len(aPlan.ids) && j < len(bPlan.ids) {
-		switch {
-		case aPlan.ids[i] < bPlan.ids[j]:
-			i++
-		case aPlan.ids[i] > bPlan.ids[j]:
-			j++
-		default:
-			if !aPlan.prune[i] && !bPlan.prune[j] {
-				ae, be := a.rows[aPlan.ids[i]], b.rows[bPlan.ids[j]]
-				aDelta := bPlan.decayed[j] * a.params.GrowthRate * sec / float64(psiCase(ae.Direct, be.Direct))
-				bDelta := aPlan.decayed[i] * b.params.GrowthRate * sec / float64(psiCase(be.Direct, ae.Direct))
-				aPlan.final[i] = clampWeight(aPlan.decayed[i] + aDelta)
-				bPlan.final[j] = clampWeight(bPlan.decayed[j] + bDelta)
-				aPlan.refresh[i] = true
-				bPlan.refresh[j] = true
+// reserveRows guarantees capacity for n more rows in an (ids, weights)
+// slice pair without changing their contents.
+func reserveRows(ids []int32, ws []float64, n int) ([]int32, []float64) {
+	if need := len(ids) + n; cap(ids) < need {
+		ids = append(make([]int32, 0, need), ids...)
+		ws = append(make([]float64, 0, need), ws...)
+	}
+	return ids, ws
+}
+
+// scoreAcquisitions collects the rows alive in the partner's table
+// post-sweep that this side will not hold post-sweep, at first-growth
+// weight. The source weight is the partner's observed value this round:
+// its anchor when the partner's plan refreshes the row (some device shares
+// it with the partner), its materialized decayed value otherwise — exactly
+// the post-decay weight the eager round exposed to acquisition.
+func (p *tablePlan) scoreAcquisitions(t *Table, partner *tablePlan, pt *Table, now time.Duration, rate, sec float64) {
+	pEv, ptEv := p.evicted > 0, partner.evicted > 0
+	n := 0
+	for wi := 0; wi < len(pt.present); wi++ {
+		m := pt.present[wi]
+		if ptEv {
+			m &^= partner.evictSet.word(wi)
+		}
+		held := t.present.word(wi)
+		if pEv {
+			held &^= p.evictSet.word(wi)
+		}
+		m &^= held
+		n += bits.OnesCount64(m)
+	}
+	if n == 0 {
+		return
+	}
+	p.acqIDs, p.acqW = reserveRows(p.acqIDs, p.acqW, n)
+	for wi := 0; wi < len(pt.present); wi++ {
+		m := pt.present[wi]
+		if ptEv {
+			m &^= partner.evictSet.word(wi)
+		}
+		held := t.present.word(wi)
+		if pEv {
+			held &^= p.evictSet.word(wi)
+		}
+		m &^= held
+		if m == 0 {
+			continue
+		}
+		dirW, sharedW := pt.direct.word(wi), partner.shared.word(wi)
+		base := int32(wi << 6)
+		for m != 0 {
+			bit := uint(bits.TrailingZeros64(m))
+			m &= m - 1
+			id := base + int32(bit)
+			dirBit := dirW >> bit & 1
+			src := pt.weights[id]
+			if sharedW>>bit&1 == 0 {
+				src, _ = decayedWeight(pt.params, src, dirBit != 0, now-pt.lastShared[id])
 			}
-			i++
-			j++
+			w := growthDeltaIdx(src*rate*sec, dirBit)
+			p.acqIDs = append(p.acqIDs, id)
+			p.acqW = append(p.acqW, clampWeight(w))
 		}
 	}
 }
 
-// scoreAcquisitions collects the keywords alive in the partner's plan but
-// absent from this side post-decay, at first-growth weight — the plan form
-// of unknownTo + acquireGrown. rate is the acquiring table's growth rate.
-func (p *tablePlan) scoreAcquisitions(partner *tablePlan, partnerTab *Table, rate, sec float64) {
-	for j, id := range partner.ids {
-		if partner.prune[j] || p.alive(id) {
-			continue
-		}
-		pe := partnerTab.rows[id]
-		w := clampWeight(partner.final[j] * rate * sec / float64(psiCase(false, pe.Direct)))
-		p.acqIDs = append(p.acqIDs, id)
-		p.acqW = append(p.acqW, w)
-	}
-}
-
-// apply writes one endpoint's plan into its table: prune, final weights and
-// refreshes in ID order, then acquisitions — the same per-table write
-// sequence ExchangeGrow produces.
+// apply writes one endpoint's plan into its table: evictions, anchor
+// refreshes, growth weights, then acquisitions. When a sweep ran, the table
+// deadline is rebuilt piecewise to the value a full recompute would give:
+// the surviving candidates' min bound was collected during the sweep walk
+// (sweepDeath), the refreshed shared transient rows are folded in by the
+// walk below (after the growth writes, so their bounds use the post-growth
+// weights the recompute would have seen), and acquisitions merge themselves
+// via insertRow. Without a sweep the old deadline stays — refreshes and
+// growth only push true death times later, so it remains a valid
+// conservative bound.
 func (p *tablePlan) apply(t *Table, from ident.NodeID, now time.Duration) {
 	t.version++
-	for i, id := range p.ids {
-		if p.prune[i] {
-			t.remove(id)
-			continue
+	if p.evicted > 0 {
+		for wi, w := range p.evictSet {
+			for w != 0 {
+				id := int32(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+				t.removeRow(id)
+			}
 		}
-		e := t.rows[id]
-		e.Weight = p.final[i]
-		if p.refresh[i] {
-			e.LastShared = now
+	}
+	for wi, w := range p.shared {
+		for w != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			t.lastShared[id] = now
+		}
+	}
+	for i, id := range p.growIDs {
+		t.weights[id] = p.growW[i]
+	}
+	if p.swept {
+		t.nextDeath = p.sweepDeath
+		// All refreshed rows share the anchor time now, and the death bound
+		// is monotone non-decreasing in the weight at a fixed anchor, so the
+		// min bound over the shared transient rows is the bound of their
+		// minimum weight — found with plain compares, one bound conversion
+		// at the end.
+		minW := math.Inf(1)
+		for wi, w := range p.shared {
+			m := w &^ t.direct.word(wi)
+			for m != 0 {
+				id := int32(wi<<6 + bits.TrailingZeros64(m))
+				m &= m - 1
+				if w := t.weights[id]; w < minW {
+					minW = w
+				}
+			}
+		}
+		if !math.IsInf(minW, 1) {
+			t.mergeDeath(minW, now)
 		}
 	}
 	for i, id := range p.acqIDs {
-		e := t.takeEntry()
-		e.Weight = p.acqW[i]
-		e.LastShared = now
-		e.AcquiredFrom = from
-		t.insert(id, e)
+		t.insertRow(id, p.acqW[i], false, now, from)
 	}
+}
+
+// psiInv holds 1/ψ for the exactly-representable cases. Dividing by 1, 2,
+// or 4 is an exact power-of-two scaling, so multiplying by the reciprocal
+// yields the bit-identical IEEE754 result; only ψ = 3 needs a true divide.
+var psiInv = [5]float64{0, 1, 0.5, 0, 0.25}
+
+// growthDelta computes x/ψ with the division strength-reduced to a multiply
+// wherever that is exact. ψ = 3 (local transient, peer direct) keeps the
+// divide: 1/3 is not representable and the product would round differently.
+func growthDelta(x float64, psi int) float64 {
+	if psi == 3 {
+		return x / 3
+	}
+	return x * psiInv[psi]
+}
+
+// psiInvIdx is psiInv reindexed by the direct-bit pair localDirect<<1 |
+// peerDirect, so the growth inner loop maps raw mask bits straight to the
+// multiplier without materializing bools or running psiCase's switch:
+// 0b11→ψ1, 0b10→ψ2, 0b01→ψ3 (true divide, slot unused), 0b00→ψ4.
+var psiInvIdx = [4]float64{0.25, 0, 0.5, 1}
+
+// growthDeltaIdx is growthDelta over the direct-bit pair index; identical
+// arithmetic, cheaper dispatch.
+func growthDeltaIdx(x float64, k uint64) float64 {
+	if k == 0b01 {
+		return x / 3
+	}
+	return x * psiInvIdx[k]
 }
 
 func clampWeight(w float64) float64 {

@@ -2,6 +2,7 @@ package interest
 
 import (
 	"fmt"
+	"math/bits"
 	"testing"
 	"time"
 
@@ -9,20 +10,29 @@ import (
 	"dtnsim/internal/sim"
 )
 
-// cloneTable deep-copies a table onto the same interner, preserving row
-// order, weights, flags, and the version counter.
+// cloneTable deep-copies a table onto the same interner, preserving rows,
+// weights, flags, counters, and the eviction deadline.
 func cloneTable(t *Table) *Table {
-	c := &Table{params: t.params, in: t.in, version: t.version}
-	for _, id := range t.active {
-		e := *t.rows[id]
-		c.insert(id, &e)
+	return &Table{
+		params:     t.params,
+		in:         t.in,
+		weights:    append([]float64(nil), t.weights...),
+		lastShared: append([]time.Duration(nil), t.lastShared...),
+		source:     append([]ident.NodeID(nil), t.source...),
+		present:    append(bitset(nil), t.present...),
+		direct:     append(bitset(nil), t.direct...),
+		count:        t.count,
+		nextDeath:    t.nextDeath,
+		version:      t.version,
+		shape:        t.shape,
+		invBeta:      t.invBeta,
+		invBetaTheta: t.invBetaTheta,
 	}
-	return c
 }
 
 // randomTable builds a table with a random mix of direct and transient
 // rows over the first nKeywords interned keywords. LastShared values spread
-// far enough back that decay and pruning both trigger.
+// far enough back that decay, pruning, and the div < 1 clamp all trigger.
 func randomTable(rng *sim.RNG, params Params, in *Interner, nKeywords int, now time.Duration) *Table {
 	t, err := NewTable(params, in)
 	if err != nil {
@@ -36,11 +46,10 @@ func randomTable(rng *sim.RNG, params Params, in *Interner, nKeywords int, now t
 		age := time.Duration(rng.Range(0, float64(2*time.Minute)))
 		if rng.Coin(0.3) {
 			t.DeclareDirect(kw, now-age)
-			t.Entry(kw).Weight = rng.Range(InitialWeight, MaxWeight)
-			t.Entry(kw).LastShared = now - age
+			t.SetWeight(kw, rng.Range(InitialWeight, MaxWeight))
 		} else {
 			t.Acquire(kw, ident.NodeID(rng.Intn(50)), now-age)
-			t.Entry(kw).Weight = rng.Range(0, MaxWeight)
+			t.SetWeight(kw, rng.Range(0, MaxWeight))
 		}
 	}
 	return t
@@ -48,25 +57,33 @@ func randomTable(rng *sim.RNG, params Params, in *Interner, nKeywords int, now t
 
 func requireTablesEqual(t *testing.T, label string, got, want *Table) {
 	t.Helper()
-	if len(got.active) != len(want.active) {
-		t.Fatalf("%s: %d rows, want %d\n got  %v\n want %v", label, len(got.active), len(want.active), got.active, want.active)
+	if got.count != want.count {
+		t.Fatalf("%s: %d rows, want %d\n got  %v\n want %v", label, got.count, want.count, got.Keywords(), want.Keywords())
 	}
-	for i, id := range want.active {
-		if got.active[i] != id {
-			t.Fatalf("%s: active[%d] = %d, want %d", label, i, got.active[i], id)
-		}
-		ge, we := got.rows[id], want.rows[id]
-		if ge.Weight != we.Weight || ge.Direct != we.Direct ||
-			ge.LastShared != we.LastShared || ge.AcquiredFrom != we.AcquiredFrom {
-			t.Fatalf("%s: row %q = %+v, want %+v", label, got.in.Word(id), *ge, *we)
+	for wi, w := range want.present {
+		for w != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if !got.present.test(id) {
+				t.Fatalf("%s: row %q missing", label, want.in.Word(id))
+			}
+			if got.weights[id] != want.weights[id] ||
+				got.direct.test(id) != want.direct.test(id) ||
+				got.lastShared[id] != want.lastShared[id] ||
+				got.source[id] != want.source[id] {
+				t.Fatalf("%s: row %q = (w=%v d=%v t=%v from=%v), want (w=%v d=%v t=%v from=%v)",
+					label, want.in.Word(id),
+					got.weights[id], got.direct.test(id), got.lastShared[id], got.source[id],
+					want.weights[id], want.direct.test(id), want.lastShared[id], want.source[id])
+			}
 		}
 	}
 }
 
-// TestExchangePlanMatchesExchangeGrow is the tentpole equivalence property:
-// Score+Apply must leave both tables bit-identical — weights compared with
-// ==, not a tolerance — to ExchangeGrow, across random populations that
-// exercise decay, refresh, pruning, growth clamping, and acquisition.
+// TestExchangePlanMatchesExchangeGrow pins that a single ExchangePlan
+// reused across many rounds (the engine reuses per-contact plans) computes
+// the same result as the stock ExchangeGrow entry point — scratch state
+// must not leak between rounds.
 func TestExchangePlanMatchesExchangeGrow(t *testing.T) {
 	rng := sim.NewRNG(42)
 	params := DefaultParams()
@@ -111,10 +128,91 @@ func TestExchangePlanMatchesExchangeGrow(t *testing.T) {
 	}
 }
 
+// TestLazyExchangeMatchesEagerReference is the tentpole equivalence lock:
+// one lazy Score+Apply round, starting from a freshly anchored population,
+// must be bit-identical to the historical eager sequence — DecayAgainst
+// both sides (a first, exactly as the old ExchangeGrow ordered it), exchange
+// decayed snapshots, Grow both — on membership, direct flags, provenance,
+// and weights observed at the exchange time. Weights compare with ==, not a
+// tolerance: the lazy path must reproduce the eager float operations
+// exactly. 250 randomized trials cover decay, the div < 1 clamp,
+// prune-at-threshold eviction, re-acquisition of just-pruned rows, growth
+// clamping, and multi-peer refresh holds.
+func TestLazyExchangeMatchesEagerReference(t *testing.T) {
+	rng := sim.NewRNG(7)
+	params := DefaultParams()
+	var plan ExchangePlan
+	for trial := 0; trial < 250; trial++ {
+		in := NewInterner()
+		now := 10 * time.Minute
+		dt := time.Duration(rng.Range(float64(time.Second), float64(90*time.Second)))
+		nKw := 4 + rng.Intn(24)
+
+		a := randomTable(rng, params, in, nKw, now)
+		b := randomTable(rng, params, in, nKw, now)
+		aPeers := []*Table{b}
+		bPeers := []*Table{a}
+		for p := rng.Intn(3); p > 0; p-- {
+			aPeers = append(aPeers, randomTable(rng, params, in, nKw, now))
+		}
+		for p := rng.Intn(3); p > 0; p-- {
+			bPeers = append(bPeers, randomTable(rng, params, in, nKw, now))
+		}
+
+		aRef, bRef := cloneTable(a), cloneTable(b)
+		aPeersRef := []*Table{bRef}
+		for _, p := range aPeers[1:] {
+			aPeersRef = append(aPeersRef, cloneTable(p))
+		}
+		bPeersRef := []*Table{aRef}
+		for _, p := range bPeers[1:] {
+			bPeersRef = append(bPeersRef, cloneTable(p))
+		}
+
+		// Eager reference: decay a first (so b's sweep sees a post-prune,
+		// matching the scored round's ordering), exchange snapshots, grow.
+		aRef.DecayAgainst(now, aPeersRef...)
+		bRef.DecayAgainst(now, bPeersRef...)
+		snapA := aRef.Snapshot()
+		snapB := bRef.Snapshot()
+		aRef.Grow(now, []PeerView{{Peer: 2, ConnectedFor: dt, Weights: snapB}})
+		bRef.Grow(now, []PeerView{{Peer: 1, ConnectedFor: dt, Weights: snapA}})
+
+		plan.Score(a, b, 1, 2, aPeers, bPeers, now, dt)
+		plan.Apply()
+
+		check := func(label string, lazy, ref *Table) {
+			t.Helper()
+			if lazy.Len() != ref.Len() {
+				t.Fatalf("trial %d %s: %d rows, want %d\n lazy %v\n ref  %v",
+					trial, label, lazy.Len(), ref.Len(), lazy.Keywords(), ref.Keywords())
+			}
+			for _, kw := range ref.Keywords() {
+				lr, ok := lazy.Row(kw)
+				if !ok {
+					t.Fatalf("trial %d %s: row %q missing", trial, label, kw)
+				}
+				rr, _ := ref.Row(kw)
+				if lr.Direct != rr.Direct || lr.AcquiredFrom != rr.AcquiredFrom {
+					t.Fatalf("trial %d %s: row %q flags = %+v, want %+v", trial, label, kw, lr, rr)
+				}
+				// The eager reference re-anchored every row at now, so its
+				// stored weight is the observed weight; the lazy table must
+				// materialize to the identical bits.
+				if got, want := lazy.WeightAt(kw, now), ref.Weight(kw); got != want {
+					t.Fatalf("trial %d %s: row %q weight = %v, want %v", trial, label, kw, got, want)
+				}
+			}
+		}
+		check("table a", a, aRef)
+		check("table b", b, bRef)
+	}
+}
+
 // TestExchangePlanStillValid pins the staleness protocol: any endpoint
 // mutation or peer membership change invalidates a plan, weight-only peer
-// updates do not (decay reads only peer membership), and applying a valid
-// plan invalidates other plans that read the same tables.
+// updates do not (the round reads only peer membership), and applying a
+// valid plan invalidates other plans that read the same tables.
 func TestExchangePlanStillValid(t *testing.T) {
 	params := DefaultParams()
 	in := NewInterner()
@@ -137,13 +235,12 @@ func TestExchangePlanStillValid(t *testing.T) {
 		t.Fatal("fresh plan reported stale")
 	}
 
-	c.version++ // weight-only peer update: invisible to the plan
-	c.Entry("z").Weight = 0.5
+	c.SetWeight("z", 0.5) // weight-only peer update: invisible to the plan
 	if !plan.StillValid() {
 		t.Fatal("plan went stale on a weight-only peer update")
 	}
 
-	c.DeclareDirect("w", now) // membership change: read by a's decay
+	c.DeclareDirect("w", now) // membership change: read by a's shared mask
 	if plan.StillValid() {
 		t.Fatal("plan still valid after peer table membership changed")
 	}

@@ -79,14 +79,14 @@ func TestClassifyPeerRelayRequiresStrictlyHigherSum(t *testing.T) {
 	v := h.node(t, 2)
 	// v holds a transient interest stronger than u's.
 	v.table.Acquire("x", 9, 0)
-	v.table.Entry("x").Weight = 0.4
+	v.table.SetWeight("x", 0.4)
 	m := h.msg(t, u, message.PriorityHigh, 0.5, 0, "x")
 	if role := ClassifyPeer(m, u, v); role != RoleRelay {
 		t.Errorf("role = %v, want relay (S_v > S_u)", role)
 	}
 	// Equal sums: not a relay.
 	u.table.Acquire("x", 9, 0)
-	u.table.Entry("x").Weight = 0.4
+	u.table.SetWeight("x", 0.4)
 	if role := ClassifyPeer(m, u, v); role != RoleNone {
 		t.Errorf("role = %v, want none (S_v == S_u)", role)
 	}
@@ -97,7 +97,7 @@ func TestClassifyPeerTransientInterestIsNotDestination(t *testing.T) {
 	u := h.node(t, 1)
 	v := h.node(t, 2)
 	v.table.Acquire("x", 9, 0)
-	v.table.Entry("x").Weight = 0.9
+	v.table.SetWeight("x", 0.9)
 	m := h.msg(t, u, message.PriorityHigh, 0.5, 0, "x")
 	if role := ClassifyPeer(m, u, v); role == RoleDestination {
 		t.Error("transient interest must not make a destination")
@@ -166,7 +166,7 @@ func TestDirectOnlyOffersToDestinations(t *testing.T) {
 	u := h.node(t, 1)
 	relay := h.node(t, 2)
 	relay.table.Acquire("a", 9, 0)
-	relay.table.Entry("a").Weight = 0.9
+	relay.table.SetWeight("a", 0.9)
 	dest := h.node(t, 3, "a")
 	h.msg(t, u, message.PriorityHigh, 0.5, 0, "a")
 	if offers := NewDirect().SelectOffers(u, relay); len(offers) != 0 {
@@ -245,7 +245,7 @@ func TestOfferOrderingDestinationsBeforeRelays(t *testing.T) {
 	u := h.node(t, 1)
 	v := h.node(t, 2, "wanted")
 	v.table.Acquire("other", 9, 0)
-	v.table.Entry("other").Weight = 0.5
+	v.table.SetWeight("other", 0.5)
 	relayMsg := h.msg(t, u, message.PriorityHigh, 0.9, 0, "other")
 	destMsg := h.msg(t, u, message.PriorityLow, 0.1, time.Second, "wanted")
 	offers := NewChitChat().SelectOffers(u, v)
