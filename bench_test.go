@@ -309,45 +309,53 @@ func BenchmarkSweepSchedulerSingleWorker(b *testing.B) {
 // pipeline"); the committed BENCH_engine.json holds the recorded grid
 // (regenerate with `go run ./cmd/dtnexp -exp bench-engine`).
 //
-// -short trims the grid to {500, 2000} × {1, 4} so the CI bench smoke stays
-// fast; the full grid is for local measurement runs.
+// The regions axis measures the region-sharded world (Config.Regions — see
+// DESIGN.md "Region-sharded world") against the flat grid on the same
+// workload; results are byte-identical, only the cost moves.
+//
+// -short trims the grid to {500, 2000} × {1, 4} × regions 1, plus the
+// 2000-node regions=4 points, so the CI bench smoke stays fast while still
+// touching the sharded path; the full grid is for local measurement runs.
 func BenchmarkEngineScale(b *testing.B) {
 	for _, nodes := range []int{500, 2000, 5000} {
 		for _, workers := range []int{1, 2, 4, 8} {
-			if testing.Short() && (nodes > 2000 || (workers != 1 && workers != 4)) {
-				continue
-			}
-			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
-				spec := scenario.Default(core.SchemeIncentive)
-				spec.Nodes = nodes
-				spec.AreaKm2 = float64(nodes) / 100
-				spec.Duration = 24 * time.Hour // never reached; steps driven manually
-				spec.SelfishPercent = 20
-				spec.MaliciousPercent = 10
-				spec.MeanMessageInterval = 30 * time.Minute
-				spec.Workers = workers
-				cfg, pop, err := scenario.Build(spec)
-				if err != nil {
-					b.Fatal(err)
+			for _, regions := range []int{1, 4} {
+				if testing.Short() && (nodes > 2000 || (workers != 1 && workers != 4) || (regions != 1 && nodes != 2000)) {
+					continue
 				}
-				cfg.MessageTTL = 30 * time.Minute
-				eng, err := core.NewEngine(cfg, pop)
-				if err != nil {
-					b.Fatal(err)
-				}
-				// Warm up: populate buffers, contacts, and the periodic schedule.
-				if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
-					b.Fatal(err)
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := eng.RunFor(context.Background(), time.Second); err != nil {
+				b.Run(fmt.Sprintf("nodes=%d/workers=%d/regions=%d", nodes, workers, regions), func(b *testing.B) {
+					spec := scenario.Default(core.SchemeIncentive)
+					spec.Nodes = nodes
+					spec.AreaKm2 = float64(nodes) / 100
+					spec.Duration = 24 * time.Hour // never reached; steps driven manually
+					spec.SelfishPercent = 20
+					spec.MaliciousPercent = 10
+					spec.MeanMessageInterval = 30 * time.Minute
+					spec.Workers = workers
+					spec.Regions = regions
+					cfg, pop, err := scenario.Build(spec)
+					if err != nil {
 						b.Fatal(err)
 					}
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(eng.StalePlans()), "stale-plans")
-			})
+					cfg.MessageTTL = 30 * time.Minute
+					eng, err := core.NewEngine(cfg, pop)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Warm up: populate buffers, contacts, and the periodic schedule.
+					if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := eng.RunFor(context.Background(), time.Second); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(eng.StalePlans()), "stale-plans")
+				})
+			}
 		}
 	}
 }

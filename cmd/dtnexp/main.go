@@ -45,6 +45,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
 	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
 	runWorkers := fs.Int("workers", 1, "intra-run worker goroutines inside each simulation, capped at GOMAXPROCS (results are identical at any count)")
+	runRegions := fs.Int("regions", 1, "region tiles sharding each simulation's world state (results are identical at any count)")
 	progress := fs.Bool("progress", false, "print live scheduler progress (jobs done/total, sim-s per wall-s, ETA) to stderr")
 	heartbeat := fs.Duration("heartbeat", 0, "per-run wall-clock snapshot interval: feeds the -obs export and keeps the -progress rate live during long runs; 0 disables (defaults to 1s when -progress is set)")
 	obsSpec := fs.String("obs", "", "structured observability export, format jsonl=PATH: one run_start/heartbeat/run_end JSON line per engine run, suite-wide")
@@ -63,6 +64,7 @@ func run(args []string) error {
 		return err
 	}
 	profile.Workers = *runWorkers
+	profile.Regions = *runRegions
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

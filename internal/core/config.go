@@ -90,6 +90,17 @@ type Config struct {
 	// read-only or write to pre-assigned slots merged in canonical order,
 	// and exchange plans apply optimistically with a serial fallback.
 	Workers int
+	// Regions shards the world state (see DESIGN.md "Region-sharded
+	// world"): the area is tiled into this many regions, each owning its
+	// nodes and its own spatial grid over its ghost-inflated tile, and the
+	// mobility/detect phases run per region on the Workers pool. Zero or
+	// one keeps the single flat grid. Results are byte-identical at every
+	// region count — ghost bands are one radio range plus the kinetic skin
+	// wide, each in-range pair is credited to exactly one region, and
+	// per-region results merge in region-index order before the canonical
+	// sort. Region tiles must be at least as wide as the ghost band along
+	// every split axis; Validate rejects layouts that are not.
+	Regions int
 	// ContactSkin tunes kinetic contact detection: the conservative slack,
 	// in metres, added to the radio range when the engine snapshots its
 	// candidate pair list. The list stays valid until worst-case node
@@ -212,6 +223,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.Workers < 0:
 		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
+	case c.Regions < 0:
+		return fmt.Errorf("core: regions must be non-negative, got %d", c.Regions)
 	case c.Step <= 0:
 		return fmt.Errorf("core: step must be positive, got %v", c.Step)
 	case c.Duration <= 0:
@@ -240,6 +253,13 @@ func (c Config) Validate() error {
 	if err := c.Radio.Validate(); err != nil {
 		return err
 	}
+	if c.Regions > 1 {
+		// The tiling itself checks that tiles stay at least one ghost band
+		// (radio range + resolved skin) wide along every split axis.
+		if _, err := world.NewTiling(c.Area, c.Regions, c.Radio.Range+c.resolvedSkin()); err != nil {
+			return err
+		}
+	}
 	if err := c.Interest.Validate(); err != nil {
 		return err
 	}
@@ -253,6 +273,22 @@ func (c Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// resolvedSkin is the kinetic contact-detection skin after defaulting:
+// negative disables the path (zero skin), zero picks the automatic quarter
+// of the radio range. The engine may still force the skin to zero at build
+// time when a mobility model has no speed bound; the ghost-band margin uses
+// this config-level resolution, which is conservative either way.
+func (c Config) resolvedSkin() float64 {
+	switch {
+	case c.ContactSkin < 0:
+		return 0
+	case c.ContactSkin == 0:
+		return c.Radio.Range / 4
+	default:
+		return c.ContactSkin
+	}
 }
 
 // bufferPolicy maps the config to an eviction policy. Priority-aware

@@ -70,6 +70,21 @@ type Engine struct {
 	kinPrimed   bool
 	kinCands    []world.Pair
 
+	// Region sharding (see region.go and DESIGN.md "Region-sharded
+	// world"): with Config.Regions > 1 the flat grid is replaced by one
+	// grid shard per region tile (tiling non-nil, grid nil) and the
+	// per-node slices below become the authoritative spatial state.
+	tiling      *world.Tiling
+	regions     []*engineRegion
+	ownerOf     []int32       // node → owning region (the tile holding its position)
+	ownedSlot   []int32       // node → its slot in the owner's node list
+	clampedPos  []world.Point // node → area-clamped position
+	spanOf      []world.Span  // node → grid-shard membership box
+	regionPlan  []sim.Shard
+	regionSizes []int
+	regionWork  []int
+	ctrHandoff  *obs.Counter
+
 	// Observability (see observability.go): the registry behind
 	// Engine.Snapshot(), hot-path counter handles, the per-kind observer
 	// dispatch table, and the run's wall-clock / heartbeat bookkeeping.
@@ -127,11 +142,10 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: network needs at least one node")
 	}
-	runner, err := sim.NewRunner(cfg.Step)
-	if err != nil {
-		return nil, err
+	if cfg.Regions > len(specs) {
+		return nil, fmt.Errorf("core: %d regions but only %d nodes; a region per node is the useful maximum", cfg.Regions, len(specs))
 	}
-	grid, err := world.NewGrid(cfg.Area, cfg.Radio.Range)
+	runner, err := sim.NewRunner(cfg.Step)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +160,6 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 	e := &Engine{
 		cfg:         cfg,
 		runner:      runner,
-		grid:        grid,
 		router:      router,
 		calc:        calc,
 		ledger:      incentive.NewLedger(),
@@ -160,6 +173,9 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
 	}
 	e.initObservability(cfg)
+	if err := e.initSpace(len(specs)); err != nil {
+		return nil, err
+	}
 	if s, ok := router.(*routing.SprayAndWait); ok {
 		e.spray = s
 	}
@@ -187,7 +203,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		n.table.SetClock(runner.Clock())
 		e.nodes = append(e.nodes, n)
 		n.lastPos = n.model.Position()
-		e.grid.Upsert(id, n.lastPos)
+		e.placeNode(id, n.lastPos)
 		if spec.Profile.Kind == behavior.Malicious {
 			e.malicious = append(e.malicious, id)
 		} else {
@@ -201,14 +217,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 			break
 		}
 	}
-	switch {
-	case cfg.ContactSkin < 0:
-		e.kinSkin = 0
-	case cfg.ContactSkin == 0:
-		e.kinSkin = cfg.Radio.Range / 4
-	default:
-		e.kinSkin = cfg.ContactSkin
-	}
+	e.kinSkin = cfg.resolvedSkin()
 	if e.kinSkin > 0 {
 		for _, n := range e.nodes {
 			sb, ok := n.model.(mobility.SpeedBounded)
@@ -428,6 +437,10 @@ func nextDeadline(due, interval, now time.Duration) time.Duration {
 // targets.
 func (e *Engine) moveNodes() {
 	step := e.runner.Clock().Step()
+	if e.tiling != nil {
+		e.regionMoveNodes(step)
+		return
+	}
 	if e.workers.N() <= 1 || !e.parallelMove {
 		for _, n := range e.nodes {
 			if p := n.model.Advance(step); p != n.lastPos {
@@ -462,6 +475,9 @@ func (e *Engine) moveNodes() {
 // superset, and filtering preserves order, so no re-sort is needed between
 // rebuilds.
 func (e *Engine) detectPairs(dst []world.Pair) []world.Pair {
+	if e.tiling != nil {
+		return e.regionDetectPairs(dst)
+	}
 	if e.kinSkin <= 0 {
 		return e.scanPairs(dst)
 	}

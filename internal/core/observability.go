@@ -18,7 +18,9 @@ import (
 //	contacts_up         contacts raised (open or refused)
 //	contacts_down       open contacts torn down
 //	stale_plans         pre-scored exchange plans discarded as stale
-//	candidate_rebuilds  kinetic candidate-list rebuilds
+//	candidate_rebuilds  kinetic candidate-list rebuilds (per region when
+//	                    the world is region-sharded)
+//	region_handoffs     node ownership transfers across region borders
 //	rating_samples      Figure 5.4 rating samples taken
 //	interest_sweeps     exchange-round eviction sweeps run (deadline reached)
 //	interest_evictions  interest rows evicted by those sweeps
@@ -37,6 +39,7 @@ func (e *Engine) initObservability(cfg Config) {
 	e.ctrDowns = e.reg.Counter("contacts_down")
 	e.ctrStale = e.reg.Counter("stale_plans")
 	e.ctrRebuild = e.reg.Counter("candidate_rebuilds")
+	e.ctrHandoff = e.reg.Counter("region_handoffs")
 	e.ctrSamples = e.reg.Counter("rating_samples")
 	e.ctrSweep = e.reg.Counter("interest_sweeps")
 	e.ctrEvict = e.reg.Counter("interest_evictions")
@@ -92,6 +95,7 @@ func (e *Engine) startRun() {
 		StepSeconds:     e.cfg.Step.Seconds(),
 		DurationSeconds: e.cfg.Duration.Seconds(),
 		Workers:         e.workers.N(),
+		Regions:         e.Regions(),
 		Kinetic:         e.kinSkin > 0,
 	}
 	for _, o := range e.observers {

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"time"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+	"dtnsim/internal/world"
+)
+
+// This file is the region-sharded world (DESIGN.md "Region-sharded world"):
+// with Config.Regions > 1 the engine replaces its single flat grid with one
+// grid shard per region tile. Each region owns the nodes whose clamped
+// position falls inside its tile, keeps ghost copies of neighbours within
+// one radio range + kinetic skin of the tile, and scans only its own shard
+// during contact detection. Determinism is preserved by construction:
+//
+//   - Ownership and grid membership are folded serially in node-index
+//     order after the (parallel) mobility advance, reproducing the flat
+//     path's serial upsert sequence.
+//   - Every in-range pair is credited to exactly one region — the current
+//     owner of its lower node — and per-region results are concatenated in
+//     region-index order, then sorted with world.SortPairs, reproducing the
+//     flat Grid.Pairs byte stream at any region and worker count.
+//   - Per-region kinetic candidate lists track their own displacement
+//     budget; a border handoff marks both the source and destination region
+//     dirty, forcing a same-tick rebuild so pairs are neither lost nor
+//     double-credited when ownership moves.
+
+// engineRegion is one region's mutable state: its grid shard over the
+// ghost-inflated tile, the nodes it owns, and its kinetic candidate list.
+type engineRegion struct {
+	idx  int
+	grid *world.Grid
+	// owned lists this region's nodes; order is arbitrary (swap-remove on
+	// handoff) and never observable — outputs are keyed by ownerOf and
+	// globally sorted.
+	owned []ident.NodeID
+
+	// Kinetic state, mirroring the engine's flat kinTraveled/kinPrimed:
+	// kinCands holds every pair within radius+skin whose lower node this
+	// region owned at the last rebuild. kinDirty forces a rebuild after a
+	// handoff touched this region.
+	kinTraveled float64
+	kinPrimed   bool
+	kinDirty    bool
+	kinCands    []world.Pair
+}
+
+// initSpace builds the engine's spatial state for n nodes: the single flat
+// grid when Config.Regions ≤ 1, or the tiling and its per-region grid
+// shards otherwise.
+func (e *Engine) initSpace(n int) error {
+	if e.cfg.Regions <= 1 {
+		grid, err := world.NewGrid(e.cfg.Area, e.cfg.Radio.Range)
+		if err != nil {
+			return err
+		}
+		e.grid = grid
+		return nil
+	}
+	margin := e.cfg.Radio.Range + e.cfg.resolvedSkin()
+	tiling, err := world.NewTiling(e.cfg.Area, e.cfg.Regions, margin)
+	if err != nil {
+		return err
+	}
+	e.tiling = tiling
+	e.regions = make([]*engineRegion, tiling.Regions())
+	for i := range e.regions {
+		origin, bounds := tiling.GhostBounds(i)
+		g, gerr := world.NewGridAt(origin, bounds, e.cfg.Radio.Range)
+		if gerr != nil {
+			return gerr
+		}
+		e.regions[i] = &engineRegion{idx: i, grid: g}
+	}
+	e.ownerOf = make([]int32, n)
+	e.ownedSlot = make([]int32, n)
+	e.clampedPos = make([]world.Point, n)
+	e.spanOf = make([]world.Span, n)
+	e.regionSizes = make([]int, len(e.regions))
+	return nil
+}
+
+// placeNode enters a node into the spatial state at its initial position:
+// the flat grid, or — region-sharded — its clamped position, its grid-shard
+// memberships, and its owning region.
+func (e *Engine) placeNode(id ident.NodeID, p world.Point) {
+	if e.tiling == nil {
+		e.grid.Upsert(id, p)
+		return
+	}
+	cp := e.cfg.Area.Clamp(p)
+	e.clampedPos[id] = cp
+	span := e.tiling.Span(cp)
+	e.spanOf[id] = span
+	for y := span.YLo; y <= span.YHi; y++ {
+		for x := span.XLo; x <= span.XHi; x++ {
+			e.regions[e.tiling.Index(int(x), int(y))].grid.Upsert(id, cp)
+		}
+	}
+	own := e.tiling.TileOf(cp)
+	r := e.regions[own]
+	e.ownerOf[id] = int32(own)
+	e.ownedSlot[id] = int32(len(r.owned))
+	r.owned = append(r.owned, id)
+}
+
+// position returns a node's current (clamped) position — the flat grid's
+// view, or the region-sharded authoritative store.
+func (e *Engine) position(id ident.NodeID) (world.Point, bool) {
+	if e.tiling == nil {
+		return e.grid.Position(id)
+	}
+	if int(id) < 0 || int(id) >= len(e.clampedPos) {
+		return world.Point{}, false
+	}
+	return e.clampedPos[id], true
+}
+
+// regionMoveNodes is moveNodes for the region-sharded world: mobility
+// advances exactly as on the flat path (parallel into the scratch array
+// when every model is parallel-safe, serial in node-index order otherwise),
+// and the membership/ownership fold then runs serially in node-index order
+// — grid upserts, ghost-band enters/leaves, and border handoffs all happen
+// in one deterministic sequence, so runs are byte-identical at any worker
+// count.
+func (e *Engine) regionMoveNodes(step time.Duration) {
+	if cap(e.posScratch) < len(e.nodes) {
+		e.posScratch = make([]world.Point, len(e.nodes))
+	}
+	pos := e.posScratch[:len(e.nodes)]
+	if e.workers.N() > 1 && e.parallelMove {
+		e.workers.Shard(len(e.nodes), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pos[i] = e.nodes[i].model.Advance(step)
+			}
+		})
+	} else {
+		for i, n := range e.nodes {
+			pos[i] = n.model.Advance(step)
+		}
+	}
+	for i, n := range e.nodes {
+		p := pos[i]
+		if p == n.lastPos {
+			// Unmoved raw position ⇒ unchanged clamped position, spans and
+			// ownership; skip the whole fold like the flat path skips its
+			// upsert.
+			continue
+		}
+		n.lastPos = p
+		e.relocate(ident.NodeID(i), e.cfg.Area.Clamp(p))
+	}
+}
+
+// relocate updates one node's spatial state to a new clamped position:
+// refresh its position in every grid shard it now belongs to, leave the
+// shards it exited, and hand ownership over when it crossed a tile border.
+func (e *Engine) relocate(id ident.NodeID, cp world.Point) {
+	e.clampedPos[id] = cp
+	old := e.spanOf[id]
+	span := e.tiling.Span(cp)
+	e.spanOf[id] = span
+	xLo, xHi := old.XLo, old.XHi
+	if span.XLo < xLo {
+		xLo = span.XLo
+	}
+	if span.XHi > xHi {
+		xHi = span.XHi
+	}
+	yLo, yHi := old.YLo, old.YHi
+	if span.YLo < yLo {
+		yLo = span.YLo
+	}
+	if span.YHi > yHi {
+		yHi = span.YHi
+	}
+	for y := yLo; y <= yHi; y++ {
+		for x := xLo; x <= xHi; x++ {
+			switch {
+			case span.ContainsTile(int(x), int(y)):
+				e.regions[e.tiling.Index(int(x), int(y))].grid.Upsert(id, cp)
+			case old.ContainsTile(int(x), int(y)):
+				e.regions[e.tiling.Index(int(x), int(y))].grid.Remove(id)
+			}
+		}
+	}
+	if own := e.tiling.TileOf(cp); own != int(e.ownerOf[id]) {
+		e.handoff(id, int(e.ownerOf[id]), own)
+	}
+}
+
+// handoff moves a node's ownership between regions (swap-remove from the
+// source's list, append to the destination's) and marks both regions'
+// kinetic candidate lists dirty: the pair credits anchored at this node
+// move with it, so both lists must rebuild this tick — otherwise a pair
+// could be double-counted (still in the source's list) or lost (not yet in
+// the destination's).
+func (e *Engine) handoff(id ident.NodeID, from, to int) {
+	fr := e.regions[from]
+	slot := e.ownedSlot[id]
+	last := len(fr.owned) - 1
+	moved := fr.owned[last]
+	fr.owned[slot] = moved
+	e.ownedSlot[moved] = slot
+	fr.owned = fr.owned[:last]
+
+	tr := e.regions[to]
+	e.ownedSlot[id] = int32(len(tr.owned))
+	tr.owned = append(tr.owned, id)
+	e.ownerOf[id] = int32(to)
+
+	fr.kinDirty, tr.kinDirty = true, true
+	e.ctrHandoff.Inc()
+}
+
+// inRange is the exact pair-distance check against the authoritative
+// clamped positions — the region-sharded counterpart of Grid.InRange. A
+// candidate's endpoints may have wandered out of the crediting region's
+// shard between rebuilds, so the check cannot go through any one grid.
+func (e *Engine) inRange(p world.Pair, radius float64) bool {
+	return e.clampedPos[p.Lo].Dist2(e.clampedPos[p.Hi]) <= radius*radius
+}
+
+// regionDetectPairs computes the in-range pair set from the region shards,
+// byte-identical to the flat detectPairs: per-region scans credit each pair
+// to the owner of its lower node, results concatenate in plan order (region
+// index ascending), and one global sort restores the canonical order.
+func (e *Engine) regionDetectPairs(dst []world.Pair) []world.Pair {
+	if e.kinSkin <= 0 {
+		return e.regionScanPairs(dst)
+	}
+	// Same displacement ledger as the flat path, kept per region: every
+	// region's candidates age by the global worst-case closing displacement
+	// each tick, and a region rebuilds when its budget is spent, it has
+	// never scanned, or a handoff touched it.
+	d := 2 * e.kinMaxSpeed * e.runner.Clock().Step().Seconds()
+	rebuild := e.regionWork[:0]
+	for _, r := range e.regions {
+		r.kinTraveled += d
+		if !r.kinPrimed || r.kinDirty || r.kinTraveled > e.kinSkin {
+			rebuild = append(rebuild, r.idx)
+		}
+	}
+	e.regionWork = rebuild
+	if len(rebuild) > 0 {
+		e.workers.Do(len(rebuild), func(i int) {
+			r := e.regions[rebuild[i]]
+			r.kinCands = e.scanRegionCandidates(r, r.kinCands[:0])
+			r.kinTraveled = 0
+			r.kinPrimed = true
+			r.kinDirty = false
+		})
+		e.ctrRebuild.Add(uint64(len(rebuild)))
+	}
+	// Filter every region's candidates with exact distance checks, banded
+	// proportionally so a few dense regions still use every worker.
+	for i, r := range e.regions {
+		e.regionSizes[i] = len(r.kinCands)
+	}
+	plan := sim.RegionShards(e.regionPlan[:0], e.regionSizes, e.workers.N())
+	e.regionPlan = plan
+	bufs := e.planBufs(len(plan))
+	radius := e.cfg.Radio.Range
+	e.workers.Do(len(plan), func(i int) {
+		s := plan[i]
+		buf := bufs[i][:0]
+		for _, p := range e.regions[s.Region].kinCands[s.Lo:s.Hi] {
+			if e.inRange(p, radius) {
+				buf = append(buf, p)
+			}
+		}
+		bufs[i] = buf
+	})
+	return mergePlan(dst, bufs)
+}
+
+// scanRegionCandidates rebuilds one region's kinetic candidate list: every
+// pair within radius+skin in the region's shard whose lower node the region
+// currently owns. The list is left unsorted — the per-tick filter output is
+// globally sorted anyway — and regions rebuild concurrently, each writing
+// only its own list.
+func (e *Engine) scanRegionCandidates(r *engineRegion, dst []world.Pair) []world.Pair {
+	all := r.grid.CandidatesRows(dst, e.cfg.Radio.Range, e.kinSkin, 0, r.grid.Rows())
+	kept := all[:0]
+	for _, p := range all {
+		if int(e.ownerOf[p.Lo]) == r.idx {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// regionScanPairs is the non-kinetic fallback: a full per-tick scan of
+// every region shard, banded over grid rows proportionally to shard size,
+// each band keeping only the pairs credited to its region.
+func (e *Engine) regionScanPairs(dst []world.Pair) []world.Pair {
+	for i, r := range e.regions {
+		e.regionSizes[i] = r.grid.Rows()
+	}
+	plan := sim.RegionShards(e.regionPlan[:0], e.regionSizes, e.workers.N())
+	e.regionPlan = plan
+	bufs := e.planBufs(len(plan))
+	radius := e.cfg.Radio.Range
+	e.workers.Do(len(plan), func(i int) {
+		s := plan[i]
+		r := e.regions[s.Region]
+		all := r.grid.PairsRows(bufs[i][:0], radius, s.Lo, s.Hi)
+		kept := all[:0]
+		for _, p := range all {
+			if int(e.ownerOf[p.Lo]) == s.Region {
+				kept = append(kept, p)
+			}
+		}
+		bufs[i] = kept
+	})
+	return mergePlan(dst, bufs)
+}
+
+// planBufs returns n reusable per-shard pair buffers.
+func (e *Engine) planBufs(n int) [][]world.Pair {
+	if cap(e.pairBufs) < n {
+		grown := make([][]world.Pair, n)
+		copy(grown, e.pairBufs)
+		e.pairBufs = grown
+	}
+	return e.pairBufs[:n]
+}
+
+// mergePlan concatenates per-shard buffers in plan order and sorts the
+// appended tail into the canonical pair order — the deterministic merge
+// that makes region-sharded detection byte-identical to the flat scan.
+func mergePlan(dst []world.Pair, bufs [][]world.Pair) []world.Pair {
+	start := len(dst)
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	world.SortPairs(dst[start:])
+	return dst
+}
+
+// Regions reports the effective region count: Config.Regions, or 1 for the
+// flat single-grid world.
+func (e *Engine) Regions() int {
+	if e.tiling == nil {
+		return 1
+	}
+	return e.tiling.Regions()
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dtnsim/internal/ident"
+)
+
+// TestRegionShardedMatchesFlatReference is the tentpole's property test:
+// stepping a region-sharded engine and a flat single-grid reference tick by
+// tick over randomized mobility mixes, the per-tick in-range pair set (what
+// updateContacts consumed, left in pairScratch) must be identical at every
+// tick, and the region bookkeeping must stay a partition — no node lost or
+// duplicated across border handoffs. Cases cover kinetic and fallback
+// detection, serial and parallel workers, and strip and square tilings;
+// `go test -race` makes the parallel cases double as a data-race probe.
+func TestRegionShardedMatchesFlatReference(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	const nodes = 40
+	const ticks = 500
+	cases := []struct {
+		mix     string
+		seed    int64
+		regions int
+		workers int
+		skin    float64
+	}{
+		{mix: "pedestrian", seed: 21, regions: 4, workers: 1, skin: 0},
+		{mix: "fast-mixed", seed: 22, regions: 9, workers: 4, skin: 0},
+		{mix: "stationary-heavy", seed: 23, regions: 2, workers: 4, skin: 60},
+		// A prime region count degrades to a 3×1 strip; a negative skin
+		// forces the full-scan fallback with the parallel move path live.
+		{mix: "pedestrian", seed: 24, regions: 3, workers: 2, skin: -1},
+		// Group mobility is not parallel-safe and not speed-bounded: the
+		// serial advance and the non-kinetic scan must hold under sharding.
+		{mix: "group", seed: 25, regions: 4, workers: 4, skin: 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := tc.mix + "/regions=" + string(rune('0'+tc.regions)) + "/workers=" + string(rune('0'+tc.workers))
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := kineticMixConfig(t, tc.seed, tc.workers, tc.skin)
+			refCfg := cfg
+			refCfg.Regions = 1
+			cfg.Regions = tc.regions
+			eng, err := NewEngine(cfg, mixSpecs(t, tc.mix, nodes, cfg.Area, tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewEngine(refCfg, mixSpecs(t, tc.mix, nodes, cfg.Area, tc.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Regions() != tc.regions || ref.Regions() != 1 {
+				t.Fatalf("Regions() = %d/%d, want %d/1", eng.Regions(), ref.Regions(), tc.regions)
+			}
+			ctx := context.Background()
+			for tick := 0; tick < ticks; tick++ {
+				if err := eng.RunFor(ctx, cfg.Step); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.RunFor(ctx, cfg.Step); err != nil {
+					t.Fatal(err)
+				}
+				got, want := eng.pairScratch, ref.pairScratch
+				if len(got) != len(want) {
+					t.Fatalf("tick %d: %d pairs, want %d (got %v, want %v)",
+						tick, len(got), len(want), got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("tick %d: pair %d = %v, want %v", tick, i, got[i], want[i])
+					}
+				}
+				checkRegionInvariants(t, eng, tick)
+			}
+			if eng.Snapshot().Counter("region_handoffs") == 0 && tc.mix != "stationary-heavy" {
+				t.Error("run crossed no region border; the handoff path went unexercised")
+			}
+		})
+	}
+}
+
+// checkRegionInvariants asserts the region bookkeeping is consistent: the
+// owned lists partition the node set, ownership matches the tile geometry,
+// and each node is a member of exactly the grid shards whose ghost-inflated
+// tile contains it.
+func checkRegionInvariants(t *testing.T, eng *Engine, tick int) {
+	t.Helper()
+	seen := make([]int, len(eng.nodes))
+	for ri, r := range eng.regions {
+		for slot, id := range r.owned {
+			seen[id]++
+			if int(eng.ownerOf[id]) != ri {
+				t.Fatalf("tick %d: node %v listed in region %d but ownerOf says %d", tick, id, ri, eng.ownerOf[id])
+			}
+			if int(eng.ownedSlot[id]) != slot {
+				t.Fatalf("tick %d: node %v at slot %d but ownedSlot says %d", tick, id, slot, eng.ownedSlot[id])
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("tick %d: node %d owned by %d regions, want exactly 1", tick, i, c)
+		}
+	}
+	for i := range eng.nodes {
+		id := ident.NodeID(i)
+		cp := eng.clampedPos[i]
+		if own := eng.tiling.TileOf(cp); own != int(eng.ownerOf[i]) {
+			t.Fatalf("tick %d: node %d at %v owned by region %d, geometry says %d", tick, i, cp, eng.ownerOf[i], own)
+		}
+		span := eng.spanOf[i]
+		if fresh := eng.tiling.Span(cp); fresh != span {
+			t.Fatalf("tick %d: node %d span %+v stale, geometry says %+v", tick, i, span, fresh)
+		}
+		for y := 0; y < eng.tiling.Rows(); y++ {
+			for x := 0; x < eng.tiling.Cols(); x++ {
+				p, in := eng.regions[eng.tiling.Index(x, y)].grid.Position(id)
+				if in != span.ContainsTile(x, y) {
+					t.Fatalf("tick %d: node %d membership in tile (%d,%d) = %v, span %+v says %v",
+						tick, i, x, y, in, span, !in)
+				}
+				if in && p != cp {
+					t.Fatalf("tick %d: node %d at %v in tile (%d,%d) shard, authoritative position %v",
+						tick, i, p, x, y, cp)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigValidateRejectsBadRegions pins the region-count validation
+// across its three layers: the sign check and the tile-vs-ghost-band check
+// in Config.Validate, and the regions-vs-nodes check in NewEngine (which is
+// the first place the node count exists).
+func TestConfigValidateRejectsBadRegions(t *testing.T) {
+	base := kineticMixConfig(t, 31, 1, 0) // 600×600 m, 100 m radio range, 25 m auto skin
+	for _, tc := range []struct {
+		name    string
+		regions int
+		errWant string
+	}{
+		{"negative", -1, "regions must be non-negative"},
+		{"tiles narrower than ghost band", 36, "narrower than the 125.0 m ghost margin"}, // 6×6 → 100 m tiles
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Regions = tc.regions
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted Regions = %d", tc.regions)
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Errorf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+	for _, regions := range []int{0, 1, 4, 9} {
+		cfg := base
+		cfg.Regions = regions
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected Regions = %d: %v", regions, err)
+		}
+	}
+	cfg := base
+	cfg.Regions = 9
+	if _, err := NewEngine(cfg, mixSpecs(t, "pedestrian", 5, cfg.Area, 31)); err == nil {
+		t.Fatal("NewEngine accepted 9 regions over 5 nodes")
+	} else if !strings.Contains(err.Error(), "9 regions but only 5 nodes") {
+		t.Errorf("error %q does not mention the region/node imbalance", err)
+	}
+}

@@ -19,10 +19,14 @@ import (
 // committed BENCH_engine.json instead of scrolling past in test output.
 // DESIGN.md's "Parallel step pipeline" section quotes the recorded grid.
 
-// EngineBenchPoint is one measured (nodes × workers) configuration.
+// EngineBenchPoint is one measured (nodes × workers × regions)
+// configuration.
 type EngineBenchPoint struct {
 	Nodes   int `json:"nodes"`
 	Workers int `json:"workers"`
+	// Regions is the world-sharding region count (core.Config Regions);
+	// 1 is the single flat grid.
+	Regions int `json:"regions"`
 	// EffectiveWorkers is the worker count after the GOMAXPROCS clamp —
 	// what the engine actually ran with on the measurement host. Points
 	// with equal effective counts are the same configuration.
@@ -45,8 +49,12 @@ type EngineBenchPoint struct {
 	StalePlans uint64 `json:"stale_plans"`
 	// CandidateRebuilds counts kinetic contact-detection candidate-list
 	// rebuilds during the whole run (warmup included); 0 means the kinetic
-	// path was disabled.
+	// path was disabled. When the world is region-sharded each region's
+	// rebuild counts separately.
 	CandidateRebuilds uint64 `json:"candidate_rebuilds"`
+	// RegionHandoffs counts node ownership transfers across region borders
+	// during the whole run; always 0 at Regions ≤ 1.
+	RegionHandoffs uint64 `json:"region_handoffs"`
 	// GoMaxProcs and GoVersion identify the measurement host's schedulable
 	// CPU count and toolchain: grids recorded on different machines are not
 	// comparable, and these fields make a foreign grid recognisable.
@@ -55,15 +63,40 @@ type EngineBenchPoint struct {
 }
 
 // EngineBenchGrid is the default measurement grid: the BenchmarkEngineScale
-// node counts crossed with the worker axis.
+// node counts crossed with the worker axis on the flat grid, plus the
+// region-sharding axis — region variants at the 5000-node knee and
+// large-population rows (20k and 50k nodes) where state sharding is the
+// lever. The large rows run a capped measured window (see EngineBench) so
+// regenerating the grid stays a minutes-scale job.
 func EngineBenchGrid() []EngineBenchPoint {
 	var grid []EngineBenchPoint
 	for _, nodes := range []int{500, 2000, 5000} {
 		for _, workers := range []int{1, 2, 4, 8} {
-			grid = append(grid, EngineBenchPoint{Nodes: nodes, Workers: workers})
+			grid = append(grid, EngineBenchPoint{Nodes: nodes, Workers: workers, Regions: 1})
 		}
 	}
+	grid = append(grid,
+		EngineBenchPoint{Nodes: 5000, Workers: 4, Regions: 4},
+		EngineBenchPoint{Nodes: 5000, Workers: 8, Regions: 9},
+		EngineBenchPoint{Nodes: 20000, Workers: 1, Regions: 1},
+		EngineBenchPoint{Nodes: 20000, Workers: 8, Regions: 1},
+		EngineBenchPoint{Nodes: 20000, Workers: 8, Regions: 9},
+		EngineBenchPoint{Nodes: 50000, Workers: 1, Regions: 1},
+		EngineBenchPoint{Nodes: 50000, Workers: 8, Regions: 1},
+		EngineBenchPoint{Nodes: 50000, Workers: 8, Regions: 16},
+	)
 	return grid
+}
+
+// benchWindowCap bounds the measured window for very large populations: a
+// 50k-node step costs two orders of magnitude more wall time than a
+// 500-node one, and the window only needs enough ticks to average over the
+// exchange cadence, not the full default minute.
+func benchWindowCap(nodes, simSeconds int) int {
+	if nodes >= 20000 && simSeconds > 20 {
+		return 20
+	}
+	return simSeconds
 }
 
 // EngineBench measures each grid point: build the paper-density network,
@@ -86,7 +119,7 @@ func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds, repea
 	for _, pt := range grid {
 		best := pt
 		for rep := 0; rep < repeat; rep++ {
-			got, err := engineBenchRun(ctx, pt, simSeconds)
+			got, err := engineBenchRun(ctx, pt, benchWindowCap(pt.Nodes, simSeconds))
 			if err != nil {
 				return nil, err
 			}
@@ -96,8 +129,8 @@ func EngineBench(ctx context.Context, grid []EngineBenchPoint, simSeconds, repea
 		}
 		out = append(out, best)
 		if log != nil {
-			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d): %.2f ms/sim-s (exchange %.2f), %.0f B/sim-s, stale=%d\n",
-				best.Nodes, best.Workers, best.EffectiveWorkers, best.MsPerSimSecond,
+			fmt.Fprintf(log, "bench-engine nodes=%d workers=%d(eff %d) regions=%d: %.2f ms/sim-s (exchange %.2f), %.0f B/sim-s, stale=%d\n",
+				best.Nodes, best.Workers, best.EffectiveWorkers, best.Regions, best.MsPerSimSecond,
 				best.PhaseMsPerSimSecond["exchange"], best.BytesPerSimSecond, best.StalePlans)
 		}
 	}
@@ -115,6 +148,7 @@ func engineBenchRun(ctx context.Context, pt EngineBenchPoint, simSeconds int) (E
 	spec.MaliciousPercent = 10
 	spec.MeanMessageInterval = 30 * time.Minute
 	spec.Workers = pt.Workers
+	spec.Regions = pt.Regions
 	cfg, pop, err := scenario.Build(spec)
 	if err != nil {
 		return pt, err
@@ -147,6 +181,7 @@ func engineBenchRun(ctx context.Context, pt EngineBenchPoint, simSeconds int) (E
 	pt.PhaseMsPerSimSecond = phaseColumns(window, pt.SimSeconds)
 	pt.StalePlans = eng.StalePlans()
 	pt.CandidateRebuilds = eng.ContactRebuilds()
+	pt.RegionHandoffs = eng.Snapshot().Counter("region_handoffs")
 	pt.GoMaxProcs = runtime.GOMAXPROCS(0)
 	pt.GoVersion = runtime.Version()
 	return pt, nil

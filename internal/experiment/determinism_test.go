@@ -41,13 +41,14 @@ func kernelGoldenSpec(scheme core.Scheme) scenario.Spec {
 	return spec
 }
 
-// renderKernelGolden runs one scheme with the given worker count and
-// contact skin (0 = the automatic kinetic default, negative = kinetic
-// detection off) and formats every figure-feeding observable
-// deterministically. Neither the worker count nor the skin appears in the
-// output: any combination must reproduce the same bytes. Extra no-op
-// observers may be attached; they must never change the bytes either.
-func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin float64, extra ...obs.Observer) string {
+// renderKernelGolden runs one scheme with the given worker count, region
+// count (≤1 = the single flat grid), and contact skin (0 = the automatic
+// kinetic default, negative = kinetic detection off) and formats every
+// figure-feeding observable deterministically. Neither the worker count,
+// the region count, nor the skin appears in the output: any combination
+// must reproduce the same bytes. Extra no-op observers may be attached;
+// they must never change the bytes either.
+func renderKernelGolden(t *testing.T, scheme core.Scheme, workers, regions int, skin float64, extra ...obs.Observer) string {
 	t.Helper()
 	spec := kernelGoldenSpec(scheme)
 	cfg, nodes, err := scenario.Build(spec)
@@ -55,6 +56,7 @@ func renderKernelGolden(t *testing.T, scheme core.Scheme, workers int, skin floa
 		t.Fatal(err)
 	}
 	cfg.Workers = workers
+	cfg.Regions = regions
 	cfg.ContactSkin = skin
 	var trace report.Buffer
 	cfg.Observers = append([]obs.Observer{obs.Record(&trace)}, extra...)
@@ -113,7 +115,7 @@ func TestKernelByteIdenticalToPollingSeed(t *testing.T) {
 	}
 	var b strings.Builder
 	for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-		b.WriteString(renderKernelGolden(t, scheme, 1, 0))
+		b.WriteString(renderKernelGolden(t, scheme, 1, 1, 0))
 	}
 	got := b.String()
 
@@ -165,7 +167,7 @@ func TestParallelWorkersByteIdentical(t *testing.T) {
 			t.Parallel()
 			var b strings.Builder
 			for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-				b.WriteString(renderKernelGolden(t, scheme, workers, 0))
+				b.WriteString(renderKernelGolden(t, scheme, workers, 1, 0))
 			}
 			if got := b.String(); got != string(want) {
 				t.Errorf("workers=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
@@ -208,11 +210,49 @@ func TestKineticContactsByteIdentical(t *testing.T) {
 				t.Parallel()
 				var b strings.Builder
 				for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-					b.WriteString(renderKernelGolden(t, scheme, workers, tc.skin))
+					b.WriteString(renderKernelGolden(t, scheme, workers, 1, tc.skin))
 				}
 				if got := b.String(); got != string(want) {
 					t.Errorf("%s workers=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
 						tc.name, workers, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestRegionShardedByteIdentical is the region-sharded world's determinism
+// guard: the golden scenario partitioned into 2, 4, and 9 region tiles —
+// strip, square, and 3×3 layouts, each at 1 and 4 workers — must reproduce
+// the recorded single-grid golden byte for byte. Every in-range pair is
+// credited to exactly one region and per-region results merge in
+// region-index order before the canonical sort, so no contact, exchange
+// round, or payment may shift by even one tick at any region count.
+func TestRegionShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour determinism runs skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "kernel_default.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-kernel-golden): %v", err)
+	}
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	for _, regions := range []int{1, 2, 4, 9} {
+		for _, workers := range []int{1, 4} {
+			regions, workers := regions, workers
+			t.Run(fmt.Sprintf("regions=%d/workers=%d", regions, workers), func(t *testing.T) {
+				t.Parallel()
+				var b strings.Builder
+				for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
+					b.WriteString(renderKernelGolden(t, scheme, workers, regions, 0))
+				}
+				if got := b.String(); got != string(want) {
+					t.Errorf("regions=%d workers=%d output diverged from the single-grid golden\n--- got ---\n%s\n--- want ---\n%s",
+						regions, workers, got, want)
 				}
 			})
 		}
@@ -247,7 +287,7 @@ func TestObserverLeavesGoldenByteIdentical(t *testing.T) {
 	var passive countingObserver
 	var b strings.Builder
 	for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
-		b.WriteString(renderKernelGolden(t, scheme, 1, 0, &passive))
+		b.WriteString(renderKernelGolden(t, scheme, 1, 1, 0, &passive))
 	}
 	if got := b.String(); got != string(want) {
 		t.Errorf("attaching a no-op observer changed the golden output\n--- got ---\n%s\n--- want ---\n%s", got, want)

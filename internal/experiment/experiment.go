@@ -43,6 +43,10 @@ type Profile struct {
 	// Workers); zero or one runs serially. Results are byte-identical
 	// across worker counts, so profiles may raise it freely.
 	Workers int
+	// Regions shards each run's world state (scenario.Spec Regions); zero
+	// or one keeps the single flat grid. Results are byte-identical across
+	// region counts.
+	Regions int
 }
 
 // The standard profiles. All keep the paper's density of 100 nodes/km².
@@ -103,6 +107,7 @@ func (p Profile) baseSpec(scheme core.Scheme) scenario.Spec {
 	spec.MeanMessageInterval = p.MeanMessageInterval
 	spec.Step = p.Step
 	spec.Workers = p.Workers
+	spec.Regions = p.Regions
 	return spec
 }
 

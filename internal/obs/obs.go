@@ -34,6 +34,9 @@ type Meta struct {
 	// Workers is the effective intra-run worker count after the
 	// GOMAXPROCS clamp; 1 means the serial fast paths.
 	Workers int `json:"workers"`
+	// Regions is the world-sharding region count; 1 means the single flat
+	// grid.
+	Regions int `json:"regions"`
 	// Kinetic reports whether kinetic contact detection is active.
 	Kinetic bool `json:"kinetic"`
 }

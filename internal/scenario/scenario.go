@@ -49,6 +49,10 @@ type Spec struct {
 	// Workers); zero or one runs serially. Any value produces
 	// byte-identical results.
 	Workers int
+	// Regions shards the world state into this many region tiles
+	// (core.Config Regions); zero or one keeps the single flat grid. Any
+	// value produces byte-identical results.
+	Regions int
 	// Duration overrides the 24 h default when positive.
 	Duration time.Duration
 	// AreaKm2 overrides the 5 km² default when positive.
@@ -133,6 +137,7 @@ func Build(spec Spec) (core.Config, []core.NodeSpec, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.Workers = spec.Workers
+	cfg.Regions = spec.Regions
 	cfg.Scheme = spec.Scheme
 	cfg.Workload = core.DefaultWorkload(vocab)
 	if spec.Duration > 0 {

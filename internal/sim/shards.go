@@ -1,0 +1,92 @@
+package sim
+
+// Shard is one unit of region-indexed work: a contiguous band [Lo, Hi) of
+// some per-region index space (grid rows, candidate slots) inside region
+// Region. The region-sharded engine plans its detect phase as a flat shard
+// list so that a handful of large regions still spreads across every
+// worker, instead of parallelism being capped at the region count.
+type Shard struct {
+	Region int
+	Lo, Hi int
+}
+
+// RegionShards appends to dst a deterministic plan of at most parts shards
+// covering sizes: sizes[r] is region r's index-space length, and the plan
+// splits each region into contiguous bands so that band counts are
+// proportional to region sizes (every region with work gets at least one
+// band) and the total never exceeds max(parts, regions-with-work). The plan
+// depends only on (sizes, parts) — never on scheduling — so a caller that
+// gives each shard its own output slot and merges in plan order is
+// deterministic at any worker count.
+func RegionShards(dst []Shard, sizes []int, parts int) []Shard {
+	if parts < 1 {
+		parts = 1
+	}
+	total := 0
+	busy := 0
+	for _, n := range sizes {
+		if n > 0 {
+			total += n
+			busy++
+		}
+	}
+	if total == 0 {
+		return dst
+	}
+	if parts < busy {
+		parts = busy
+	}
+	// Largest-remainder apportionment of parts bands over regions: quotas
+	// are parts·size/total, each busy region keeps at least one band, and
+	// leftover bands go to the largest fractional remainders (ties to the
+	// lower region index, keeping the plan deterministic).
+	type share struct {
+		region int
+		bands  int
+		remNum int // remainder numerator of parts·size/total
+	}
+	shares := make([]share, 0, busy)
+	assigned := 0
+	for r, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		b := parts * n / total
+		if b < 1 {
+			b = 1
+		}
+		if b > n {
+			b = n
+		}
+		shares = append(shares, share{region: r, bands: b, remNum: (parts * n) % total})
+		assigned += b
+	}
+	for assigned < parts {
+		best := -1
+		for i := range shares {
+			if shares[i].bands >= sizes[shares[i].region] {
+				continue // can't split finer than one index per band
+			}
+			if best < 0 || shares[i].remNum > shares[best].remNum {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		shares[best].bands++
+		shares[best].remNum = 0 // spread extras across regions
+		assigned++
+	}
+	for _, s := range shares {
+		n := sizes[s.region]
+		for b := 0; b < s.bands; b++ {
+			dst = append(dst, Shard{
+				Region: s.region,
+				Lo:     n * b / s.bands,
+				Hi:     n * (b + 1) / s.bands,
+			})
+		}
+	}
+	return dst
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "testing"
+
+// TestRegionShardsPartition checks the plan covers every region's index
+// space exactly once, in (region, band) order, for a spread of shapes.
+func TestRegionShardsPartition(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int
+		parts int
+	}{
+		{"single region", []int{40}, 4},
+		{"even regions", []int{10, 10, 10, 10}, 8},
+		{"skewed", []int{100, 1, 1, 1}, 8},
+		{"empty regions", []int{0, 12, 0, 5}, 4},
+		{"more regions than parts", []int{3, 3, 3, 3, 3, 3}, 2},
+		{"tiny regions", []int{1, 1, 1}, 8},
+		{"all empty", []int{0, 0}, 4},
+		{"serial", []int{9, 9}, 1},
+	}
+	for _, c := range cases {
+		plan := RegionShards(nil, c.sizes, c.parts)
+		next := make([]int, len(c.sizes))
+		lastRegion := -1
+		for _, s := range plan {
+			if s.Region < lastRegion {
+				t.Fatalf("%s: plan not in region order: %+v", c.name, plan)
+			}
+			if s.Region != lastRegion {
+				lastRegion = s.Region
+			}
+			if s.Lo != next[s.Region] {
+				t.Fatalf("%s: region %d band starts at %d, want %d", c.name, s.Region, s.Lo, next[s.Region])
+			}
+			if s.Hi <= s.Lo {
+				t.Fatalf("%s: empty band %+v", c.name, s)
+			}
+			next[s.Region] = s.Hi
+		}
+		for r, n := range c.sizes {
+			if next[r] != n {
+				t.Fatalf("%s: region %d covered to %d, want %d", c.name, r, next[r], n)
+			}
+		}
+	}
+}
+
+// TestRegionShardsProportional checks a large region receives more bands
+// than a small one and that every busy region gets at least one band even
+// when parts is small.
+func TestRegionShardsProportional(t *testing.T) {
+	plan := RegionShards(nil, []int{90, 10}, 8)
+	bands := make(map[int]int)
+	for _, s := range plan {
+		bands[s.Region]++
+	}
+	if bands[0] <= bands[1] {
+		t.Fatalf("region 0 (size 90) got %d bands, region 1 (size 10) got %d; want proportional", bands[0], bands[1])
+	}
+	if bands[1] < 1 {
+		t.Fatalf("small region starved: %v", bands)
+	}
+
+	plan = RegionShards(nil, []int{5, 5, 5, 5}, 1)
+	if len(plan) != 4 {
+		t.Fatalf("parts=1 over 4 busy regions should still emit 4 shards, got %d", len(plan))
+	}
+}
+
+// TestRegionShardsDeterministic checks the plan is a pure function of
+// (sizes, parts).
+func TestRegionShardsDeterministic(t *testing.T) {
+	sizes := []int{17, 0, 42, 9, 3}
+	a := RegionShards(nil, sizes, 6)
+	b := RegionShards(nil, sizes, 6)
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

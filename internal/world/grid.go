@@ -20,7 +20,8 @@ import (
 // probes that previously dominated the step profile. Sparse IDs work but
 // cost O(maxID) memory.
 type Grid struct {
-	bounds Rect
+	origin Point // world coordinate of the grid's lower corner
+	bounds Rect  // extent of the gridded rectangle, relative to origin
 	cell   float64
 	cols   int
 	rows   int
@@ -33,6 +34,16 @@ type Grid struct {
 // NewGrid builds a grid over bounds with the given cell size (normally the
 // radio range). Cell size must be positive.
 func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
+	return NewGridAt(Point{}, bounds, cellSize)
+}
+
+// NewGridAt builds a grid over the rectangle [origin, origin+bounds] — a
+// region shard of a larger world keeps its grid over its own ghost-inflated
+// tile instead of the whole area, so cell storage scales with the tile, not
+// the world. Positions passed to and returned from the grid stay in world
+// coordinates; only cell addressing is origin-relative. NewGrid is the
+// origin-zero special case.
+func NewGridAt(origin Point, bounds Rect, cellSize float64) (*Grid, error) {
 	if cellSize <= 0 {
 		return nil, fmt.Errorf("world: cell size must be positive, got %v", cellSize)
 	}
@@ -42,6 +53,7 @@ func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
 	cols := int(math.Ceil(bounds.Width/cellSize)) + 1
 	rows := int(math.Ceil(bounds.Height/cellSize)) + 1
 	return &Grid{
+		origin: origin,
 		bounds: bounds,
 		cell:   cellSize,
 		cols:   cols,
@@ -54,9 +66,15 @@ func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
 // [0, Rows()).
 func (g *Grid) Rows() int { return g.rows }
 
+// clamp pulls a world-coordinate point into the gridded rectangle.
+func (g *Grid) clamp(p Point) Point {
+	l := g.bounds.Clamp(Point{X: p.X - g.origin.X, Y: p.Y - g.origin.Y})
+	return Point{X: l.X + g.origin.X, Y: l.Y + g.origin.Y}
+}
+
 func (g *Grid) cellIndex(p Point) int {
-	cx := int(p.X / g.cell)
-	cy := int(p.Y / g.cell)
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
 	if cx < 0 {
 		cx = 0
 	}
@@ -84,7 +102,7 @@ func (g *Grid) ensure(id ident.NodeID) {
 // matching the mobility models which never leave the area. IDs must be
 // non-negative.
 func (g *Grid) Upsert(id ident.NodeID, p Point) {
-	p = g.bounds.Clamp(p)
+	p = g.clamp(p)
 	g.ensure(id)
 	newCell := int32(g.cellIndex(p))
 	if old := g.cellOf[id]; old >= 0 {
@@ -161,8 +179,8 @@ func (g *Grid) withinPoint(dst []ident.NodeID, center Point, radius float64, exc
 		return dst
 	}
 	reach := int(math.Ceil(radius / g.cell))
-	cx := int(center.X / g.cell)
-	cy := int(center.Y / g.cell)
+	cx := int((center.X - g.origin.X) / g.cell)
+	cy := int((center.Y - g.origin.Y) / g.cell)
 	r2 := radius * radius
 	for dy := -reach; dy <= reach; dy++ {
 		y := cy + dy

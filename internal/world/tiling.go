@@ -1,0 +1,188 @@
+package world
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tiling partitions a bounded rectangle into a fixed cols×rows lattice of
+// equal tiles — the state-ownership map of the region-sharded world (see
+// DESIGN.md "Region-sharded world"). Every point owns exactly one tile
+// (TileOf); around each tile runs a ghost band of width margin — the radio
+// range plus the kinetic skin — and Span reports, for any point, the full
+// set of tiles whose ghost-inflated bounds contain it. A region keeps every
+// node whose position falls inside its inflated bounds in its grid shard,
+// so a scan of one shard sees every possible partner of the nodes the
+// region owns, out to radius+skin, without touching any other shard.
+//
+// The layout is chosen once from the region count: rows is the largest
+// divisor of regions not exceeding √regions, cols is regions/rows, and the
+// larger factor runs along the rectangle's longer axis, keeping tiles as
+// close to square as the factorization allows (4 ⇒ 2×2, 9 ⇒ 3×3, 6 ⇒ 3×2,
+// primes degrade to a single strip).
+//
+// Tiles must be at least margin wide along every split axis: the membership
+// box then spans at most two tiles per axis, and — more fundamentally — a
+// ghost band wider than the tile would mean a region could need nodes from
+// beyond its immediate neighbors, breaking the one-band handoff protocol.
+// NewTiling rejects such layouts.
+type Tiling struct {
+	bounds       Rect
+	cols, rows   int
+	tileW, tileH float64
+	margin       float64
+	// eps widens Span's ghost-band membership test by a hair so that a
+	// node floating-point-exactly on a band edge is kept rather than
+	// dropped: extra membership is always harmless (pairs are still
+	// exact-distance filtered and credited to one owner), missing
+	// membership could lose a boundary pair.
+	eps float64
+}
+
+// TileLayout returns the cols×rows factorization NewTiling uses for the
+// given region count over the given bounds; exported so callers (config
+// validation, diagnostics) can reason about tile dimensions without
+// building a Tiling. Regions below 1 return 1×1.
+func TileLayout(bounds Rect, regions int) (cols, rows int) {
+	if regions < 1 {
+		return 1, 1
+	}
+	small := 1
+	for d := 1; d*d <= regions; d++ {
+		if regions%d == 0 {
+			small = d
+		}
+	}
+	large := regions / small
+	if bounds.Height > bounds.Width {
+		return small, large
+	}
+	return large, small
+}
+
+// NewTiling builds a tiling of bounds into the given number of regions with
+// the given ghost-band margin. It rejects non-positive region counts,
+// negative margins, and layouts whose tiles are narrower than the margin
+// along a split axis.
+func NewTiling(bounds Rect, regions int, margin float64) (*Tiling, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("world: tiling needs at least one region, got %d", regions)
+	}
+	if margin < 0 {
+		return nil, fmt.Errorf("world: ghost margin must be non-negative, got %v", margin)
+	}
+	if bounds.Width <= 0 || bounds.Height <= 0 {
+		return nil, fmt.Errorf("world: tiling bounds must have positive area, got %v×%v", bounds.Width, bounds.Height)
+	}
+	cols, rows := TileLayout(bounds, regions)
+	t := &Tiling{
+		bounds: bounds,
+		cols:   cols,
+		rows:   rows,
+		tileW:  bounds.Width / float64(cols),
+		tileH:  bounds.Height / float64(rows),
+		margin: margin,
+		eps:    margin*1e-12 + 1e-9,
+	}
+	if cols > 1 && t.tileW < margin {
+		return nil, fmt.Errorf("world: %d-region tiling (%d×%d) makes tiles %.1f m wide, narrower than the %.1f m ghost margin (radio range + skin); use fewer regions or a larger area",
+			regions, cols, rows, t.tileW, margin)
+	}
+	if rows > 1 && t.tileH < margin {
+		return nil, fmt.Errorf("world: %d-region tiling (%d×%d) makes tiles %.1f m tall, shorter than the %.1f m ghost margin (radio range + skin); use fewer regions or a larger area",
+			regions, cols, rows, t.tileH, margin)
+	}
+	return t, nil
+}
+
+// Regions returns the tile count (cols × rows).
+func (t *Tiling) Regions() int { return t.cols * t.rows }
+
+// Cols returns the number of tile columns.
+func (t *Tiling) Cols() int { return t.cols }
+
+// Rows returns the number of tile rows.
+func (t *Tiling) Rows() int { return t.rows }
+
+// Margin returns the ghost-band width in metres.
+func (t *Tiling) Margin() float64 { return t.margin }
+
+// Index maps tile coordinates to the region index (row-major).
+func (t *Tiling) Index(x, y int) int { return y*t.cols + x }
+
+// TileOf returns the index of the tile owning p. Points outside the bounds
+// are clamped first — matching Grid.Upsert, so a clamped position and its
+// owner are always consistent. Points exactly on an interior tile edge
+// belong to the higher-indexed tile (half-open tiles), so ownership is a
+// function, not a relation.
+func (t *Tiling) TileOf(p Point) int {
+	p = t.bounds.Clamp(p)
+	x := int(p.X / t.tileW)
+	if x >= t.cols {
+		x = t.cols - 1
+	}
+	y := int(p.Y / t.tileH)
+	if y >= t.rows {
+		y = t.rows - 1
+	}
+	return t.Index(x, y)
+}
+
+// TileBounds returns region i's owned rectangle: its origin (lower corner)
+// and extent.
+func (t *Tiling) TileBounds(i int) (Point, Rect) {
+	x, y := i%t.cols, i/t.cols
+	return Point{X: float64(x) * t.tileW, Y: float64(y) * t.tileH},
+		Rect{Width: t.tileW, Height: t.tileH}
+}
+
+// GhostBounds returns region i's grid-shard rectangle: the owned tile
+// inflated by the ghost margin on every side, clamped to the world bounds.
+// Every node whose (clamped) position lies inside this rectangle — owned
+// nodes and ghosts — belongs in region i's grid shard.
+func (t *Tiling) GhostBounds(i int) (Point, Rect) {
+	origin, r := t.TileBounds(i)
+	x0 := math.Max(0, origin.X-t.margin)
+	y0 := math.Max(0, origin.Y-t.margin)
+	x1 := math.Min(t.bounds.Width, origin.X+r.Width+t.margin)
+	y1 := math.Min(t.bounds.Height, origin.Y+r.Height+t.margin)
+	return Point{X: x0, Y: y0}, Rect{Width: x1 - x0, Height: y1 - y0}
+}
+
+// Span is the inclusive tile-coordinate box [XLo,XHi]×[YLo,YHi] of the
+// tiles whose ghost-inflated bounds contain a point — the point's grid-
+// shard membership set. Because tiles are at least one margin wide, a span
+// covers at most two tiles per axis (four at a corner).
+type Span struct {
+	XLo, XHi, YLo, YHi int32
+}
+
+// ContainsTile reports whether tile (x, y) lies inside the span box.
+func (s Span) ContainsTile(x, y int) bool {
+	return int32(x) >= s.XLo && int32(x) <= s.XHi && int32(y) >= s.YLo && int32(y) <= s.YHi
+}
+
+// Span returns p's membership box: every tile within ghost-margin reach of
+// p (inclusive, widened by a float-safety hair — see the eps field). The
+// owning tile is always inside the box. Points outside the bounds are
+// clamped first.
+func (t *Tiling) Span(p Point) Span {
+	p = t.bounds.Clamp(p)
+	m := t.margin + t.eps
+	return Span{
+		XLo: int32(clampTile(int(math.Ceil((p.X-m)/t.tileW))-1, t.cols)),
+		XHi: int32(clampTile(int(math.Floor((p.X+m)/t.tileW)), t.cols)),
+		YLo: int32(clampTile(int(math.Ceil((p.Y-m)/t.tileH))-1, t.rows)),
+		YHi: int32(clampTile(int(math.Floor((p.Y+m)/t.tileH)), t.rows)),
+	}
+}
+
+func clampTile(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,203 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"dtnsim/internal/ident"
+	"dtnsim/internal/sim"
+)
+
+func TestTileLayoutFactorization(t *testing.T) {
+	wide := Rect{Width: 1000, Height: 500}
+	tall := Rect{Width: 500, Height: 1000}
+	cases := []struct {
+		bounds     Rect
+		regions    int
+		cols, rows int
+	}{
+		{wide, 1, 1, 1},
+		{wide, 2, 2, 1},
+		{tall, 2, 1, 2},
+		{wide, 4, 2, 2},
+		{wide, 6, 3, 2},
+		{tall, 6, 2, 3},
+		{wide, 9, 3, 3},
+		{wide, 12, 4, 3},
+		{wide, 7, 7, 1}, // primes degrade to a strip along the long axis
+		{tall, 7, 1, 7},
+	}
+	for _, c := range cases {
+		cols, rows := TileLayout(c.bounds, c.regions)
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("TileLayout(%v×%v, %d) = %d×%d, want %d×%d",
+				c.bounds.Width, c.bounds.Height, c.regions, cols, rows, c.cols, c.rows)
+		}
+	}
+}
+
+func TestNewTilingRejectsBadLayouts(t *testing.T) {
+	bounds := Rect{Width: 600, Height: 600}
+	cases := []struct {
+		name    string
+		bounds  Rect
+		regions int
+		margin  float64
+	}{
+		{"zero regions", bounds, 0, 100},
+		{"negative regions", bounds, -3, 100},
+		{"negative margin", bounds, 4, -1},
+		{"empty bounds", Rect{}, 1, 100},
+		{"tile narrower than margin", bounds, 16, 200}, // 4×4 → 150 m tiles < 200 m margin
+	}
+	for _, c := range cases {
+		if _, err := NewTiling(c.bounds, c.regions, c.margin); err == nil {
+			t.Errorf("%s: NewTiling(%v, %d, %v) accepted, want error",
+				c.name, c.bounds, c.regions, c.margin)
+		}
+	}
+	if _, err := NewTiling(bounds, 9, 125); err != nil {
+		t.Fatalf("9 regions over 600×600 at margin 125 (200 m tiles) should be valid: %v", err)
+	}
+}
+
+// TestTilingSpanInvariants checks, on random points including out-of-bounds
+// ones, that (a) the owning tile is inside the span, (b) every tile in the
+// span has the clamped point inside its ghost-inflated bounds, and (c) every
+// tile outside the span is strictly farther than the margin from the point —
+// so span membership is exactly "could this region need the node".
+func TestTilingSpanInvariants(t *testing.T) {
+	rng := sim.NewRNG(11)
+	bounds := Rect{Width: 930, Height: 610}
+	for _, regions := range []int{1, 2, 4, 6, 9, 12} {
+		tl, err := NewTiling(bounds, regions, 80)
+		if err != nil {
+			t.Fatalf("regions=%d: %v", regions, err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			p := Point{
+				X: rng.Range(-50, bounds.Width+50),
+				Y: rng.Range(-50, bounds.Height+50),
+			}
+			cp := bounds.Clamp(p)
+			span := tl.Span(p)
+			own := tl.TileOf(p)
+			if !span.ContainsTile(own%tl.Cols(), own/tl.Cols()) {
+				t.Fatalf("regions=%d p=%v: owning tile %d not in span %+v", regions, p, own, span)
+			}
+			for y := 0; y < tl.Rows(); y++ {
+				for x := 0; x < tl.Cols(); x++ {
+					origin, r := tl.GhostBounds(tl.Index(x, y))
+					inside := cp.X >= origin.X && cp.X <= origin.X+r.Width &&
+						cp.Y >= origin.Y && cp.Y <= origin.Y+r.Height
+					if span.ContainsTile(x, y) {
+						if !inside {
+							t.Fatalf("regions=%d p=%v: tile (%d,%d) in span but point outside its ghost bounds", regions, p, x, y)
+						}
+						continue
+					}
+					// Outside the span the point must be strictly beyond the
+					// margin from the owned tile, up to the float hair the
+					// span deliberately over-includes.
+					to, tr := tl.TileBounds(tl.Index(x, y))
+					dx := math.Max(0, math.Max(to.X-cp.X, cp.X-(to.X+tr.Width)))
+					dy := math.Max(0, math.Max(to.Y-cp.Y, cp.Y-(to.Y+tr.Height)))
+					if dx <= tl.Margin() && dy <= tl.Margin() {
+						t.Fatalf("regions=%d p=%v: tile (%d,%d) outside span but within margin (dx=%v dy=%v)", regions, p, x, y, dx, dy)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTilingTilesPartitionWorld checks ownership is a partition: every tile
+// index is in range, TileBounds tiles the world exactly, and a point drawn
+// inside tile i's (half-open) rectangle is owned by tile i.
+func TestTilingTilesPartitionWorld(t *testing.T) {
+	rng := sim.NewRNG(3)
+	bounds := Rect{Width: 730, Height: 520}
+	tl, err := NewTiling(bounds, 6, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tl.Regions(); i++ {
+		origin, r := tl.TileBounds(i)
+		for trial := 0; trial < 200; trial++ {
+			p := Point{
+				X: origin.X + rng.Range(0, r.Width*0.999),
+				Y: origin.Y + rng.Range(0, r.Height*0.999),
+			}
+			if own := tl.TileOf(p); own != i {
+				t.Fatalf("point %v drawn in tile %d owned by %d", p, i, own)
+			}
+		}
+	}
+}
+
+// TestOffsetGridMatchesFlat places the same population into a flat
+// whole-world grid and into an offset grid covering a sub-rectangle, and
+// requires identical pair sets over the nodes inside the sub-rectangle —
+// the property region shards rely on.
+func TestOffsetGridMatchesFlat(t *testing.T) {
+	rng := sim.NewRNG(19)
+	world := Rect{Width: 800, Height: 800}
+	origin := Point{X: 150, Y: 250}
+	sub := Rect{Width: 400, Height: 350}
+	const radius = 90
+	for trial := 0; trial < 20; trial++ {
+		flat, err := NewGrid(world, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := NewGridAt(origin, sub, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inside []ident.NodeID
+		nodes := 30 + rng.Intn(120)
+		for i := 0; i < nodes; i++ {
+			p := Point{X: rng.Range(0, world.Width), Y: rng.Range(0, world.Height)}
+			flat.Upsert(ident.NodeID(i), p)
+			if p.X >= origin.X && p.X <= origin.X+sub.Width &&
+				p.Y >= origin.Y && p.Y <= origin.Y+sub.Height {
+				off.Upsert(ident.NodeID(i), p)
+				inside = append(inside, ident.NodeID(i))
+			}
+		}
+		member := make(map[ident.NodeID]bool, len(inside))
+		for _, id := range inside {
+			member[id] = true
+		}
+		want := flat.Pairs(nil, radius)
+		filtered := want[:0]
+		for _, p := range want {
+			if member[p.Lo] && member[p.Hi] {
+				filtered = append(filtered, p)
+			}
+		}
+		got := off.Pairs(nil, radius)
+		if len(got) != len(filtered) {
+			t.Fatalf("trial %d: offset grid found %d pairs, flat reference %d", trial, len(got), len(filtered))
+		}
+		for i := range got {
+			if got[i] != filtered[i] {
+				t.Fatalf("trial %d pair %d: offset %v != flat %v", trial, i, got[i], filtered[i])
+			}
+		}
+		// Positions must round-trip in world coordinates, and out-of-rect
+		// upserts must clamp onto the offset rectangle, not the world origin.
+		for _, id := range inside {
+			fp, _ := flat.Position(id)
+			op, ok := off.Position(id)
+			if !ok || op != fp {
+				t.Fatalf("trial %d: node %d position %v in offset grid, want %v", trial, id, op, fp)
+			}
+		}
+		off.Upsert(ident.NodeID(nodes), Point{X: -10, Y: -10})
+		cp, _ := off.Position(ident.NodeID(nodes))
+		if cp != origin {
+			t.Fatalf("out-of-rect upsert clamped to %v, want offset origin %v", cp, origin)
+		}
+	}
+}
