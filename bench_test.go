@@ -411,6 +411,65 @@ func BenchmarkContactDetection(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedExchange isolates the batched contact-round exchange
+// scoring path (see DESIGN.md "Batched exchange rounds & bounded tables"):
+// a dense 2000-node workload where many contact rounds come due on the same
+// tick, crossed with workers (flat vs. batched fan-out), regions (flat vs.
+// region-credited batches), and the table cap (unbounded vs. top-k bounded
+// tables). Each iteration retires one simulated second, so ns/op reads as
+// nanoseconds per simulated second; b.ReportAllocs pins the alloc-free
+// scratch reuse in the batch gather and FIFO offer sort.
+//
+// -short trims the grid to 500 nodes at workers {1,4} × regions=1 ×
+// cap={0,64} so the CI race bench smoke (-benchtime=1x) touches both the
+// serial and batched paths and both cap branches cheaply.
+func BenchmarkBatchedExchange(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		for _, regions := range []int{1, 4} {
+			for _, tablecap := range []int{0, 64} {
+				if testing.Short() && regions != 1 {
+					continue
+				}
+				nodes := 2000
+				if testing.Short() {
+					nodes = 500
+				}
+				name := fmt.Sprintf("workers=%d/regions=%d/cap=%d", workers, regions, tablecap)
+				b.Run(name, func(b *testing.B) {
+					spec := scenario.Default(core.SchemeIncentive)
+					spec.Nodes = nodes
+					spec.AreaKm2 = float64(nodes) / 100
+					spec.Duration = 24 * time.Hour // never reached; steps driven manually
+					spec.SelfishPercent = 20
+					spec.MeanMessageInterval = 30 * time.Minute
+					spec.Workers = workers
+					spec.Regions = regions
+					spec.TableCap = tablecap
+					cfg, pop, err := scenario.Build(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng, err := core.NewEngine(cfg, pop)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Warm up: populate tables, contacts, and due exchange rounds.
+					if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := eng.RunFor(context.Background(), time.Second); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 func reportSweep(b *testing.B, points []experiment.Fig51Point) {
 	b.Helper()
 	if len(points) == 0 {

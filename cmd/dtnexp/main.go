@@ -53,9 +53,10 @@ func run(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	benchOut := fs.String("benchout", "BENCH_engine.json", "output path for the bench-engine measurement grid")
 	benchWindow := fs.Int("benchwindow", 60, "bench-engine/bench-contacts measured window in simulated seconds per grid point")
-	benchRepeat := fs.Int("benchrepeat", 3, "bench-engine runs per grid point (fresh engine each); the fastest run is recorded, suppressing scheduler noise on shared hosts")
+	benchRepeat := fs.Int("benchrepeat", 3, "bench-engine/bench-contacts runs per grid point (fresh engine each); the fastest run is recorded, suppressing scheduler noise on shared hosts")
 	contactsOut := fs.String("contactsout", "BENCH_contacts.json", "output path for the bench-contacts measurement grid")
 	skin := fs.Float64("skin", 0, "kinetic contact-detection skin in metres for bench-contacts' kinetic points (0 = auto, a quarter of the radio range)")
+	tablecap := fs.Int("tablecap", 0, "top-k bound on each node's interest table inside every run: overflow evicts the lowest-weight transient row (0 = unbounded, the historical behaviour)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +66,7 @@ func run(args []string) error {
 	}
 	profile.Workers = *runWorkers
 	profile.Regions = *runRegions
+	profile.TableCap = *tablecap
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -205,7 +207,7 @@ func run(args []string) error {
 			return nil
 		},
 		"bench-contacts": func() error {
-			points, err := experiment.ContactBench(ctx, experiment.ContactBenchGrid(), *benchWindow, *skin, os.Stderr)
+			points, err := experiment.ContactBench(ctx, experiment.ContactBenchGrid(), *benchWindow, *skin, *benchRepeat, os.Stderr)
 			if err != nil {
 				return err
 			}

@@ -53,6 +53,7 @@ func run(args []string) error {
 		battery   = fs.Float64("battery", 0, "per-node radio energy budget in joules (0 = unlimited)")
 		workers   = fs.Int("workers", 1, "intra-run worker goroutines for the parallel step pipeline, capped at GOMAXPROCS (results are identical at any count)")
 		regions   = fs.Int("regions", 1, "region tiles sharding the world state; each region owns its nodes and grid with deterministic border handoff (results are identical at any count)")
+		tablecap  = fs.Int("tablecap", 0, "top-k bound on each node's interest table: overflow evicts the lowest-weight transient row (0 = unbounded, the historical behaviour)")
 		skin      = fs.Float64("skin", 0, "kinetic contact-detection skin in metres (0 = auto, a quarter of the radio range; negative forces the full per-tick scan; results are identical at any value)")
 		heartbeat = fs.Duration("heartbeat", 0, "wall-clock heartbeat interval: print a live progress snapshot (sim/wall position, rates, per-phase timers) on this cadence; 0 disables")
 		obsSpec   = fs.String("obs", "", "structured observability export, format jsonl=PATH: write run_start/heartbeat/run_end snapshots as JSON lines")
@@ -85,6 +86,7 @@ func run(args []string) error {
 	spec.Step = *step
 	spec.Workers = *workers
 	spec.Regions = *regions
+	spec.TableCap = *tablecap
 	spec.ClassSplit = *classes
 	spec.BatteryJoules = *battery
 	if *router != "chitchat" {

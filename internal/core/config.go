@@ -112,6 +112,17 @@ type Config struct {
 	// entirely, restoring the per-tick scan. The path also disables itself
 	// when any node's mobility model is not mobility.SpeedBounded.
 	ContactSkin float64
+	// TableCap bounds each node's RTSR interest table to this many live
+	// rows (top-k): an insert that pushes a table past the cap immediately
+	// evicts its weakest transient row — smallest time-decayed weight, ties
+	// to the lowest interned keyword ID — while user-declared direct rows
+	// are never evicted (a node subscribed to more than TableCap keywords
+	// keeps exactly those). Zero, the default, keeps tables unbounded and is
+	// bit-identical to the historical behaviour; a positive cap models the
+	// bounded per-device state real DTN hardware gives the RTSR scheme and
+	// keeps dense-network tables within a few cache lines. Traces diverge
+	// from the unbounded run only when the cap actually evicts a row.
+	TableCap int
 	// Step is the tick granularity.
 	Step time.Duration
 	// Duration is the simulated time span (Table 5.1: 24 h).
@@ -225,6 +236,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
 	case c.Regions < 0:
 		return fmt.Errorf("core: regions must be non-negative, got %d", c.Regions)
+	case c.TableCap < 0:
+		return fmt.Errorf("core: table cap must be non-negative, got %d", c.TableCap)
 	case c.Step <= 0:
 		return fmt.Errorf("core: step must be positive, got %v", c.Step)
 	case c.Duration <= 0:

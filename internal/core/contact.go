@@ -36,16 +36,12 @@ type contact struct {
 	gossipDue   bool
 	// plan holds this tick's pre-scored exchange outcome when the parallel
 	// scoring pass ran (Engine.scoreExchanges); planScored marks it fresh.
-	// peersA/peersB are the plan's per-contact peer-table scratch, private
-	// to this contact so scoring passes can run concurrently; they are
-	// rebuilt only when the matching endpoint's peerGen moved past the
-	// generation they were built at (peersAGen/peersBGen).
+	// The peer-table lists the round reads live on the endpoints
+	// (Node.peerTables, rebuilt gen-checked by Engine.refreshNodePeers), not
+	// on the contact: scoring passes only read them, so contacts sharing a
+	// node score concurrently off one shared list per node.
 	plan       interest.ExchangePlan
 	planScored bool
-	peersA     []*interest.Table
-	peersB     []*interest.Table
-	peersAGen  uint64
-	peersBGen  uint64
 	// queue[queueHead:] are the pending transfers. Dequeuing advances
 	// queueHead instead of reslicing from the front, so a long-lived
 	// contact releases its consumed prefix (see pop) rather than pinning

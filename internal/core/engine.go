@@ -55,6 +55,12 @@ type Engine struct {
 	posScratch   []world.Point
 	pairBufs     [][]world.Pair
 	dueScratch   []*contact
+	// dueGrouped/dueStarts are the batched scoring pass's region-grouping
+	// scratch: the due batch counting-sorted region-major (stable, so each
+	// region's contacts keep creation order) plus per-region start offsets
+	// into it (see scoreExchanges).
+	dueGrouped []*contact
+	dueStarts  []int
 
 	// Kinetic contact detection (see DESIGN.md "Kinetic contact
 	// detection"): while every mobility model is speed-bounded, the engine
@@ -201,6 +207,10 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		// materialize the time-decayed weight instead of relying on eager
 		// per-round sweeps (DESIGN.md "Lazy-decay interest tables").
 		n.table.SetClock(runner.Clock())
+		// Zero cap keeps the table unbounded; a positive cap bounds it to
+		// the top-k rows by materialized weight (DESIGN.md "Batched
+		// exchange rounds & bounded tables").
+		n.table.SetCap(cfg.TableCap)
 		e.nodes = append(e.nodes, n)
 		n.lastPos = n.model.Position()
 		e.placeNode(id, n.lastPos)
@@ -420,7 +430,7 @@ func (e *Engine) tick(now time.Duration) {
 func nextDeadline(due, interval, now time.Duration) time.Duration {
 	due += interval
 	if due <= now {
-		due += ((now - due) / interval + 1) * interval
+		due += ((now-due)/interval + 1) * interval
 	}
 	return due
 }
@@ -794,13 +804,22 @@ func (e *Engine) progressContacts(now time.Duration) {
 }
 
 // scoreExchanges is the parallel half of the exchange rounds: after the
-// agenda has raised this tick's due flags, the expensive read-only RTSR
-// scoring (decay, growth, acquisition — see interest.ExchangePlan) runs
-// concurrently across all due contacts. Scoring only reads tables, contact
-// peer lists, and the peersOf map — nothing mutates until the serial
-// contact pass — so contacts sharing a node may score concurrently. The
+// agenda has raised this tick's due flags, the rounds due at this instant
+// are coalesced into one batch (in contact-creation order, the canonical
+// apply order) and the expensive read-only RTSR scoring (decay, growth,
+// acquisition — see interest.ExchangePlan) fans out over it. A serial
+// pre-pass gathers each touched node's peer tables once per batch through
+// the gen-checked Node.peerTables cache — two contacts sharing a node read
+// one list instead of rebuilding private copies, and the rebuild never
+// races. Scoring then only reads tables and those shared lists — nothing
+// mutates until the serial contact pass — so contacts sharing a node score
+// concurrently. With regions active the batch is grouped region-major
+// (credited to the lower endpoint's owning tile, the pair-crediting
+// convention) and banded proportionally so a few busy regions still use
+// every worker, each band walking one region's contacts cache-warm. The
 // serial pass then applies each plan in creation order, falling back to the
-// serial exchange when an earlier apply invalidated the plan's reads.
+// serial exchange when an earlier apply invalidated the plan's reads — so
+// traces stay byte-identical at any worker or region count.
 func (e *Engine) scoreExchanges(now time.Duration) {
 	if e.workers.N() <= 1 {
 		return
@@ -815,12 +834,60 @@ func (e *Engine) scoreExchanges(now time.Duration) {
 	if len(due) == 0 {
 		return
 	}
-	e.workers.Do(len(due), func(i int) {
-		c := due[i]
-		e.refreshPeerTables(c)
-		c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id,
-			c.peersA, c.peersB, now, now-c.exchangedAt)
-		c.planScored = true
+	for _, c := range due {
+		e.refreshNodePeers(c.a)
+		e.refreshNodePeers(c.b)
+	}
+	if e.tiling == nil {
+		e.workers.Do(len(due), func(i int) {
+			c := due[i]
+			c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id,
+				c.a.peerTables, c.b.peerTables, now, now-c.exchangedAt)
+			c.planScored = true
+		})
+		return
+	}
+	// Counting sort by owning region: counts, prefix starts, then a stable
+	// placement pass (regionSizes doubles as the write cursors, and is
+	// restored to per-region counts for the shard plan).
+	for i := range e.regionSizes {
+		e.regionSizes[i] = 0
+	}
+	for _, c := range due {
+		e.regionSizes[e.ownerOf[c.a.id]]++
+	}
+	nr := len(e.regionSizes)
+	if cap(e.dueStarts) < nr+1 {
+		e.dueStarts = make([]int, nr+1)
+	}
+	starts := e.dueStarts[:nr+1]
+	starts[0] = 0
+	for i, n := range e.regionSizes {
+		starts[i+1] = starts[i] + n
+	}
+	if cap(e.dueGrouped) < len(due) {
+		e.dueGrouped = make([]*contact, len(due))
+	}
+	grouped := e.dueGrouped[:len(due)]
+	copy(e.regionSizes, starts[:nr])
+	for _, c := range due {
+		r := e.ownerOf[c.a.id]
+		grouped[e.regionSizes[r]] = c
+		e.regionSizes[r]++
+	}
+	e.dueGrouped = grouped
+	for i := range e.regionSizes {
+		e.regionSizes[i] = starts[i+1] - starts[i]
+	}
+	plan := sim.RegionShards(e.regionPlan[:0], e.regionSizes, e.workers.N())
+	e.regionPlan = plan
+	e.workers.Do(len(plan), func(i int) {
+		s := plan[i]
+		for _, c := range grouped[starts[s.Region]+s.Lo : starts[s.Region]+s.Hi] {
+			c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id,
+				c.a.peerTables, c.b.peerTables, now, now-c.exchangedAt)
+			c.planScored = true
+		}
 	})
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"dtnsim/internal/interest"
@@ -51,44 +50,57 @@ func (e *Engine) runExchange(c *contact, now, grown time.Duration) {
 // plan. The round needs each side's full connected-peer set: an interest
 // shared by any live neighbour holds its weight (Algorithm 1).
 func (e *Engine) scoreContact(c *contact, now, grown time.Duration) {
-	e.refreshPeerTables(c)
-	c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id, c.peersA, c.peersB, now, grown)
+	e.refreshNodePeers(c.a)
+	e.refreshNodePeers(c.b)
+	c.plan.Score(c.a.table, c.b.table, c.a.id, c.b.id, c.a.peerTables, c.b.peerTables, now, grown)
 }
 
-// refreshPeerTables rebuilds the contact's cached peer-table lists when an
-// endpoint's peer set changed since the cache was built (Node.peerGen moves
-// on every open-contact raise/teardown touching the node). The caching is
-// sound because scoring is insensitive to everything else about the lists:
-// the shared-mask OR commutes, and a peer's table mutations are covered by
-// the plan's shape-counter validation, not by rebuilding the list.
-func (e *Engine) refreshPeerTables(c *contact) {
-	if c.peersAGen != c.a.peerGen {
-		c.peersA = peerTablesInto(c.peersA[:0], e.peersOf[c.a.id], c.a)
-		c.peersAGen = c.a.peerGen
-	}
-	if c.peersBGen != c.b.peerGen {
-		c.peersB = peerTablesInto(c.peersB[:0], e.peersOf[c.b.id], c.b)
-		c.peersBGen = c.b.peerGen
+// refreshNodePeers rebuilds n's cached peer-table list when its peer set
+// changed since the cache was built (Node.peerGen moves on every
+// open-contact raise/teardown touching the node). The list lives on the
+// node, not the contact, so a batch of rounds due at one tick gathers each
+// node's tables once however many contacts touch it. The caching is sound
+// because scoring is insensitive to everything else about the list: the
+// shared-mask OR commutes, and a peer's table mutations are covered by the
+// plan's shape-counter validation, not by rebuilding the list. NOT safe to
+// call concurrently for the same node — the batched scoring pass refreshes
+// serially before fanning out (Engine.scoreExchanges).
+func (e *Engine) refreshNodePeers(n *Node) {
+	if n.peerTablesGen != n.peerGen {
+		n.peerTables = peerTablesInto(n.peerTables[:0], e.peersOf[n.id], n)
+		n.peerTablesGen = n.peerGen
 	}
 }
 
 // sortOffersFIFO reorders offers to destination-first, then message
-// creation order, dropping the priority/quality preference.
+// creation order, dropping the priority/quality preference. The sort is a
+// hand-rolled stable insertion sort: offer lists are short (a handful of
+// buffered messages per direction), and sort.SliceStable's closure forces
+// the slice header to escape — this keeps the per-round routing phase
+// allocation-free.
 func sortOffersFIFO(offers []routing.Offer) {
-	sort.SliceStable(offers, func(i, j int) bool {
-		if offers[i].Role != offers[j].Role {
-			return offers[i].Role > offers[j].Role
+	for i := 1; i < len(offers); i++ {
+		for j := i; j > 0 && offerBefore(&offers[j], &offers[j-1]); j-- {
+			offers[j], offers[j-1] = offers[j-1], offers[j]
 		}
-		if offers[i].Msg.CreatedAt != offers[j].Msg.CreatedAt {
-			return offers[i].Msg.CreatedAt < offers[j].Msg.CreatedAt
-		}
-		return offers[i].Msg.ID < offers[j].Msg.ID
-	})
+	}
+}
+
+// offerBefore is sortOffersFIFO's strict-less ordering: destinations before
+// relays (Role descending), then message creation time, then message ID.
+func offerBefore(x, y *routing.Offer) bool {
+	if x.Role != y.Role {
+		return x.Role > y.Role
+	}
+	if x.Msg.CreatedAt != y.Msg.CreatedAt {
+		return x.Msg.CreatedAt < y.Msg.CreatedAt
+	}
+	return x.Msg.ID < y.Msg.ID
 }
 
 // peerTablesInto appends the interest tables of all of n's contacts to dst
-// (per-contact scratch slices; both the parallel scoring pass and the
-// serial scoreContact fallback call it).
+// (the node's cached scratch slice; both the batched scoring pass and the
+// serial scoreContact fallback gather through it).
 func peerTablesInto(dst []*interest.Table, contacts []*contact, n *Node) []*interest.Table {
 	for _, c := range contacts {
 		dst = append(dst, c.other(n).table)

@@ -62,10 +62,17 @@ type Node struct {
 	// TTL-carrying message lands in the buffer.
 	expiryEv *sim.Handle
 	// peerGen counts changes to the node's peersOf list (open contacts
-	// raised or torn down). Contacts compare it against the generation their
-	// cached peer-table lists were built at, so exchange rounds rebuild the
-	// lists only after churn touches an endpoint (Engine.refreshPeerTables).
-	peerGen uint64
+	// raised or torn down); peerTables caches the interest tables of those
+	// contacts' far endpoints and peerTablesGen records the generation it
+	// was built at. Exchange rounds — the batched parallel scoring pass and
+	// the serial path alike — gather each node's peer tables through this
+	// gen-checked cache, so a batch of rounds due at the same tick reads the
+	// list once per node instead of rebuilding a copy per contact, and churn
+	// invalidates one list instead of every touching contact's copy
+	// (Engine.refreshNodePeers).
+	peerGen       uint64
+	peerTables    []*interest.Table
+	peerTablesGen uint64
 }
 
 var _ routing.NodeView = (*Node)(nil)

@@ -25,6 +25,13 @@ import (
 //	interest_sweeps     exchange-round eviction sweeps run (deadline reached)
 //	interest_evictions  interest rows evicted by those sweeps
 //
+// Sampled gauges (levels read at snapshot time, not monotonic totals —
+// Snapshot.Sub carries the later value through instead of differencing):
+//
+//	table_rows_live      live interest rows summed over every node's table
+//	table_evictions_cap  rows evicted by the TableCap top-k bound
+//	table_compactions    dense-slice compactions after eviction sweeps
+//
 // Phase names and their attribution are documented on obs.Phase and in
 // DESIGN.md "Observability".
 
@@ -43,6 +50,30 @@ func (e *Engine) initObservability(cfg Config) {
 	e.ctrSamples = e.reg.Counter("rating_samples")
 	e.ctrSweep = e.reg.Counter("interest_sweeps")
 	e.ctrEvict = e.reg.Counter("interest_evictions")
+	// The interest tables own the occupancy and cap/compaction counters;
+	// the gauges sample them at snapshot time. The closures read e.nodes
+	// live, so registering before the node loop is fine.
+	e.reg.Gauge("table_rows_live", func() uint64 {
+		var sum uint64
+		for _, n := range e.nodes {
+			sum += uint64(n.table.Len())
+		}
+		return sum
+	})
+	e.reg.Gauge("table_evictions_cap", func() uint64 {
+		var sum uint64
+		for _, n := range e.nodes {
+			sum += n.table.CapEvictions()
+		}
+		return sum
+	})
+	e.reg.Gauge("table_compactions", func() uint64 {
+		var sum uint64
+		for _, n := range e.nodes {
+			sum += n.table.Compactions()
+		}
+		return sum
+	})
 
 	e.observers = append([]obs.Observer(nil), cfg.Observers...)
 	if cfg.Recorder != nil {

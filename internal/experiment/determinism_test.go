@@ -259,6 +259,45 @@ func TestRegionShardedByteIdentical(t *testing.T) {
 	}
 }
 
+// TestBatchedExchangeByteIdentical is the batched contact-round scoring
+// pass's determinism guard: coalescing every round due at a tick into one
+// per-tick batch — gathered once per node through the shared peer-table
+// caches, grouped region-major when the world is sharded, and scored in
+// parallel — must reproduce the recorded serial golden byte for byte across
+// the worker × region matrix. The batch is only ever *scored* out of order;
+// plans still apply serially in contact-creation order, so no exchange
+// outcome, payment, or transfer may shift by even one tick.
+func TestBatchedExchangeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour determinism runs skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "kernel_default.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-kernel-golden): %v", err)
+	}
+	if prev := runtime.GOMAXPROCS(0); prev < 8 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, regions := range []int{1, 4} {
+			workers, regions := workers, regions
+			t.Run(fmt.Sprintf("workers=%d/regions=%d", workers, regions), func(t *testing.T) {
+				t.Parallel()
+				var b strings.Builder
+				for _, scheme := range []core.Scheme{core.SchemeIncentive, core.SchemeChitChat} {
+					b.WriteString(renderKernelGolden(t, scheme, workers, regions, 0))
+				}
+				if got := b.String(); got != string(want) {
+					t.Errorf("workers=%d regions=%d output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
+						workers, regions, got, want)
+				}
+			})
+		}
+	}
+}
+
 // countingObserver subscribes to the full lifecycle and every event kind
 // (nil Kinds ⇒ all) but never touches engine state.
 type countingObserver struct {

@@ -47,6 +47,10 @@ type Profile struct {
 	// or one keeps the single flat grid. Results are byte-identical across
 	// region counts.
 	Regions int
+	// TableCap bounds each node's RTSR interest table to this many live
+	// rows (scenario.Spec TableCap); zero keeps tables unbounded and the
+	// figures bit-identical to historical runs.
+	TableCap int
 }
 
 // The standard profiles. All keep the paper's density of 100 nodes/km².
@@ -108,6 +112,7 @@ func (p Profile) baseSpec(scheme core.Scheme) scenario.Spec {
 	spec.Step = p.Step
 	spec.Workers = p.Workers
 	spec.Regions = p.Regions
+	spec.TableCap = p.TableCap
 	return spec
 }
 

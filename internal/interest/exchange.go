@@ -50,6 +50,9 @@ func (t *Table) DecayAgainst(now time.Duration, peers ...*Table) {
 		t.removeRow(id)
 	}
 	t.pruneScratch = prune
+	if len(prune) > 0 {
+		t.maybeCompact()
+	}
 }
 
 // ExchangeGrow runs the pairwise RTSR exchange for a contact that has

@@ -119,6 +119,25 @@ type Table struct {
 	direct     bitset
 	count      int
 
+	// sat marks present rows whose stored anchor weight is exactly MaxWeight
+	// — the rows the growth loop's saturation skip drops. Safety is
+	// one-sided: a clear bit on a saturated row only costs the per-bit
+	// weight check, but a set bit on an unsaturated row would skip growth
+	// that must happen. Every weight write therefore keeps the bit exact
+	// (set iff the written weight == MaxWeight), and scoreGrowth masks whole
+	// words of mutually saturated rows without loading their weights.
+	sat bitset
+
+	// capRows bounds the live row count (0 = unlimited): when an insert
+	// pushes count past it, the transient row with the smallest materialized
+	// weight is evicted (ties to the lowest interned ID). Direct rows are
+	// never evicted, so count ≤ max(capRows, direct rows). capEvictions and
+	// compactions count cap-driven removals and dense-tail truncations for
+	// the engine's gauges.
+	capRows      int
+	capEvictions uint64
+	compactions  uint64
+
 	// nextDeath is a conservative lower bound on the earliest time any
 	// transient row can decay below PruneBelow. The exchange round sweeps
 	// eviction candidates only when now has reached it — prune-below
@@ -177,6 +196,26 @@ func (t *Table) Interner() *Interner { return t.in }
 // eager behaviour.
 func (t *Table) SetClock(c Clock) { t.clock = c }
 
+// SetCap bounds the table to at most n live rows; 0 (the default) keeps the
+// historical unlimited behaviour and is bit-identical to it — the cap path
+// is a single comparison on insert. With a positive cap, any insert that
+// pushes the row count past n immediately evicts the weakest transient row
+// (smallest materialized weight, ties to the lowest interned ID). Direct
+// rows are exempt, so a table whose direct subscriptions alone exceed the
+// cap holds exactly those.
+func (t *Table) SetCap(n int) { t.capRows = n }
+
+// Cap returns the configured row bound (0 = unlimited).
+func (t *Table) Cap() int { return t.capRows }
+
+// CapEvictions returns how many rows the cap has evicted over the table's
+// lifetime (always 0 while unlimited).
+func (t *Table) CapEvictions() uint64 { return t.capEvictions }
+
+// Compactions returns how many times the dense row storage was truncated to
+// its live extent after evictions emptied the tail.
+func (t *Table) Compactions() uint64 { return t.compactions }
+
 // Version returns the table's mutation counter. Two reads returning the
 // same value bracket a span with no table mutations — the staleness check
 // behind the engine's optimistic parallel exchange scoring.
@@ -207,11 +246,17 @@ func (t *Table) insertRow(id int32, w float64, direct bool, at time.Duration, fr
 		t.direct.clear(id)
 		t.mergeDeath(w, at)
 	}
+	if w == MaxWeight {
+		t.sat.set(id)
+	}
 	t.weights[id] = w
 	t.lastShared[id] = at
 	t.source[id] = from
 	t.count++
 	t.shape++
+	if t.capRows > 0 && t.count > t.capRows {
+		t.evictOverCap(at)
+	}
 }
 
 // removeRow evicts a row, zeroing its payload slots.
@@ -221,11 +266,77 @@ func (t *Table) removeRow(id int32) {
 	}
 	t.present.clear(id)
 	t.direct.clear(id)
+	t.sat.clear(id)
 	t.weights[id] = 0
 	t.lastShared[id] = 0
 	t.source[id] = ident.Nobody
 	t.count--
 	t.shape++
+}
+
+// evictOverCap restores the row-count bound after an insert pushed past it:
+// one walk over the transient rows (the same materialized-weight arithmetic
+// the eviction sweeps use) finds the weakest row — smallest time-decayed
+// weight, ties to the lowest interned ID — and removes it. The freshly
+// inserted row is a candidate like any other, so a weak arrival evicts
+// itself. When every row is direct the cap yields: declared subscriptions
+// are user state the table must not silently drop.
+func (t *Table) evictOverCap(now time.Duration) {
+	victim := int32(-1)
+	best := math.Inf(1)
+	for wi, w := range t.present {
+		m := w &^ t.direct.word(wi)
+		for m != 0 {
+			id := int32(wi<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+			if mw := t.materialized(id, now); mw < best {
+				best, victim = mw, id
+			}
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	t.removeRow(victim)
+	t.capEvictions++
+}
+
+// maybeCompact truncates the dense SoA extent after evictions emptied its
+// tail: interned IDs are stable run-wide (renumbering would desynchronise
+// every table sharing the interner), so compaction keeps ID order and drops
+// only trailing all-absent words — present, direct, and sat shrink to the
+// highest live word, the payload slices to the matching row count. Reads
+// past the extent are already well-defined (bitset.word and test treat
+// out-of-range as absent) and re-growth reuses the retained backing arrays,
+// so truncation is invisible to every consumer while hot low-ID tables walk
+// and reset a fraction of the words. Only triggered when at least half the
+// extent is dead tail, so alternating insert/evict near the boundary cannot
+// thrash.
+func (t *Table) maybeCompact() {
+	nw := len(t.present)
+	if nw == 0 {
+		return
+	}
+	hi := nw
+	for hi > 0 && t.present[hi-1] == 0 {
+		hi--
+	}
+	if hi*2 > nw {
+		return
+	}
+	t.present = t.present[:hi]
+	if len(t.direct) > hi {
+		t.direct = t.direct[:hi]
+	}
+	if len(t.sat) > hi {
+		t.sat = t.sat[:hi]
+	}
+	if rows := hi << 6; len(t.weights) > rows {
+		t.weights = t.weights[:rows]
+		t.lastShared = t.lastShared[:rows]
+		t.source = t.source[:rows]
+	}
+	t.compactions++
 }
 
 // decayedWeight applies Algorithm 1's decay formula to a weight anchored
@@ -320,6 +431,11 @@ func (t *Table) DeclareDirect(kw string, now time.Duration) {
 		if w < InitialWeight {
 			w = InitialWeight
 		}
+		if w == MaxWeight {
+			t.sat.set(id)
+		} else {
+			t.sat.clear(id)
+		}
 		t.weights[id] = w
 		t.lastShared[id] = now
 		t.direct.set(id)
@@ -380,6 +496,11 @@ func (t *Table) SetWeight(kw string, w float64) {
 		return
 	}
 	t.version++
+	if w == MaxWeight {
+		t.sat.set(id)
+	} else {
+		t.sat.clear(id)
+	}
 	t.weights[id] = w
 	if !t.direct.test(id) {
 		t.mergeDeath(w, t.lastShared[id])
@@ -533,6 +654,9 @@ func (t *Table) Decay(now time.Duration, connected map[string]bool) {
 		t.removeRow(id)
 	}
 	t.pruneScratch = prune
+	if len(prune) > 0 {
+		t.maybeCompact()
+	}
 }
 
 // reanchor materializes one row at now and re-anchors it there, reporting
@@ -542,6 +666,11 @@ func (t *Table) reanchor(id int32, now time.Duration) bool {
 	w, dead := decayedWeight(t.params, t.weights[id], direct, now-t.lastShared[id])
 	if dead {
 		return true
+	}
+	if w == MaxWeight {
+		t.sat.set(id)
+	} else {
+		t.sat.clear(id)
 	}
 	t.weights[id] = w
 	t.lastShared[id] = now
@@ -607,6 +736,11 @@ func (t *Table) Grow(now time.Duration, peers []PeerView) {
 			nw := t.weights[id] + delta
 			if nw > MaxWeight {
 				nw = MaxWeight
+			}
+			if nw == MaxWeight {
+				t.sat.set(id)
+			} else {
+				t.sat.clear(id)
 			}
 			t.weights[id] = nw
 		}

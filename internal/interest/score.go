@@ -256,6 +256,11 @@ func scoreGrowth(aPlan, bPlan *tablePlan, a, b *Table, dt time.Duration) {
 	n := 0
 	for wi := 0; wi < nw; wi++ {
 		g := a.present[wi] & b.present[wi]
+		// Rows saturated on both sides can only stay at MaxWeight (the
+		// per-bit skip below); the sat bitsets mark exactly those rows, so
+		// whole words of them drop here without loading a single weight —
+		// the dominant case once a dense network's tables have converged.
+		g &^= a.sat.word(wi) & b.sat.word(wi)
 		if aEv {
 			g &^= aPlan.evictSet.word(wi)
 		}
@@ -272,6 +277,7 @@ func scoreGrowth(aPlan, bPlan *tablePlan, a, b *Table, dt time.Duration) {
 	aRate, bRate := a.params.GrowthRate, b.params.GrowthRate
 	for wi := 0; wi < nw; wi++ {
 		g := a.present[wi] & b.present[wi]
+		g &^= a.sat.word(wi) & b.sat.word(wi)
 		if aEv {
 			g &^= aPlan.evictSet.word(wi)
 		}
@@ -408,7 +414,14 @@ func (p *tablePlan) apply(t *Table, from ident.NodeID, now time.Duration) {
 		}
 	}
 	for i, id := range p.growIDs {
-		t.weights[id] = p.growW[i]
+		w := p.growW[i]
+		t.weights[id] = w
+		if w == MaxWeight {
+			// Grown rows were unsaturated at score time (mutually saturated
+			// pairs are masked out of the growth lists), so only the clear→set
+			// transition can happen here.
+			t.sat.set(id)
+		}
 	}
 	if p.swept {
 		t.nextDeath = p.sweepDeath
@@ -434,6 +447,9 @@ func (p *tablePlan) apply(t *Table, from ident.NodeID, now time.Duration) {
 	}
 	for i, id := range p.acqIDs {
 		t.insertRow(id, p.acqW[i], false, now, from)
+	}
+	if p.evicted > 0 {
+		t.maybeCompact()
 	}
 }
 

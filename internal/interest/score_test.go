@@ -14,19 +14,21 @@ import (
 // weights, flags, counters, and the eviction deadline.
 func cloneTable(t *Table) *Table {
 	return &Table{
-		params:     t.params,
-		in:         t.in,
-		weights:    append([]float64(nil), t.weights...),
-		lastShared: append([]time.Duration(nil), t.lastShared...),
-		source:     append([]ident.NodeID(nil), t.source...),
-		present:    append(bitset(nil), t.present...),
-		direct:     append(bitset(nil), t.direct...),
+		params:       t.params,
+		in:           t.in,
+		weights:      append([]float64(nil), t.weights...),
+		lastShared:   append([]time.Duration(nil), t.lastShared...),
+		source:       append([]ident.NodeID(nil), t.source...),
+		present:      append(bitset(nil), t.present...),
+		direct:       append(bitset(nil), t.direct...),
+		sat:          append(bitset(nil), t.sat...),
 		count:        t.count,
 		nextDeath:    t.nextDeath,
 		version:      t.version,
 		shape:        t.shape,
 		invBeta:      t.invBeta,
 		invBetaTheta: t.invBetaTheta,
+		capRows:      t.capRows,
 	}
 }
 

@@ -1,0 +1,67 @@
+package obs_test
+
+import (
+	"testing"
+
+	"dtnsim/internal/obs"
+)
+
+// TestRegistryGaugeSamplesAtSnapshot pins gauge semantics: the sampler runs
+// at snapshot (and Value) time, the exported CounterValue is flagged, and
+// registration keeps the counter's slot so the export layout stays stable.
+func TestRegistryGaugeSamplesAtSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("first")
+	level := uint64(3)
+	r.Gauge("occupancy", func() uint64 { return level })
+	c.Add(7)
+
+	snap := r.Snapshot(0, 0, 0, 0)
+	if len(snap.Counters) != 2 {
+		t.Fatalf("snapshot has %d counters, want 2", len(snap.Counters))
+	}
+	if snap.Counters[0].Name != "first" || snap.Counters[0].Gauge {
+		t.Errorf("counter slot 0 = %+v, want plain counter \"first\"", snap.Counters[0])
+	}
+	if g := snap.Counters[1]; g.Name != "occupancy" || !g.Gauge || g.Value != 3 {
+		t.Errorf("gauge slot = %+v, want occupancy gauge at 3", g)
+	}
+
+	// The sampler is live, not captured: a later snapshot sees the new level.
+	level = 11
+	if got := r.Snapshot(0, 0, 0, 0).Counter("occupancy"); got != 11 {
+		t.Errorf("resampled gauge = %d, want 11", got)
+	}
+	if got := r.Counter("occupancy").Value(); got != 11 {
+		t.Errorf("gauge handle Value() = %d, want 11", got)
+	}
+}
+
+// TestSnapshotSubKeepsGaugeLevel pins windowing: Sub differences monotonic
+// counters but carries a gauge's later sampled level through unchanged — a
+// level has no meaningful rate form.
+func TestSnapshotSubKeepsGaugeLevel(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("total")
+	level := uint64(100)
+	r.Gauge("rows", func() uint64 { return level })
+
+	c.Add(5)
+	before := r.Snapshot(0, 0, 0, 0)
+	c.Add(9)
+	level = 42 // the level can move in any direction between snapshots
+	after := r.Snapshot(0, 0, 0, 0)
+
+	window := after.Sub(before)
+	if got := window.Counter("total"); got != 9 {
+		t.Errorf("windowed counter = %d, want 9", got)
+	}
+	if got := window.Counter("rows"); got != 42 {
+		t.Errorf("windowed gauge = %d, want the later level 42", got)
+	}
+	for _, cv := range window.Counters {
+		if cv.Name == "rows" && !cv.Gauge {
+			t.Error("gauge flag lost through Sub")
+		}
+	}
+}

@@ -61,17 +61,25 @@ func PhaseNames() []string {
 
 // Counter is one named monotonic counter. The owner increments it from the
 // simulation goroutine; it is not safe for concurrent use (snapshots are
-// taken from the same goroutine).
+// taken from the same goroutine). A counter registered through Gauge holds
+// a sampler instead of a stored count.
 type Counter struct {
-	name string
-	v    uint64
+	name  string
+	v     uint64
+	fn    func() uint64
+	gauge bool
 }
 
 // Name returns the counter's registered name.
 func (c *Counter) Name() string { return c.name }
 
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+// Value returns the current count — the sampler's result for gauges.
+func (c *Counter) Value() uint64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.v
+}
 
 // Inc adds one.
 func (c *Counter) Inc() { c.v++ }
@@ -108,6 +116,18 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge registers a sampled gauge under name: snapshots call fn at
+// snapshot time and export the sampled value instead of a stored count.
+// Gauges report levels, not rates — Snapshot.Sub carries the later
+// snapshot's value through instead of differencing. Registering an
+// existing name converts it and replaces its sampler; the registration
+// slot (and so the export position) is kept.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	c := r.Counter(name)
+	c.fn = fn
+	c.gauge = true
+}
+
 // AddPhase accrues wall-clock time to a phase's running total.
 func (r *Registry) AddPhase(p Phase, d time.Duration) {
 	if p >= 0 && p < NumPhases {
@@ -140,7 +160,7 @@ func (r *Registry) Snapshot(sim, wall time.Duration, steps, events uint64) Snaps
 		s.SimPerWallSec = s.SimSeconds / s.WallSeconds
 	}
 	for i, c := range r.order {
-		s.Counters[i] = CounterValue{Name: c.name, Value: c.v}
+		s.Counters[i] = CounterValue{Name: c.name, Value: c.Value(), Gauge: c.gauge}
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		s.Phases[p] = PhaseValue{Name: p.String(), Seconds: r.phases[p].Seconds()}
@@ -152,6 +172,9 @@ func (r *Registry) Snapshot(sim, wall time.Duration, steps, events uint64) Snaps
 type CounterValue struct {
 	Name  string `json:"name"`
 	Value uint64 `json:"value"`
+	// Gauge marks a sampled instantaneous level rather than a monotonic
+	// total; Sub carries the later value through instead of differencing.
+	Gauge bool `json:"gauge,omitempty"`
 }
 
 // PhaseValue is one phase timer's accrued total at snapshot time.
@@ -231,6 +254,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		w.SimPerWallSec = w.SimSeconds / w.WallSeconds
 	}
 	for i, c := range s.Counters {
+		if c.Gauge {
+			// A level, not a total: the window's value is where the gauge
+			// stood at its end.
+			w.Counters[i] = c
+			continue
+		}
 		w.Counters[i] = CounterValue{Name: c.Name, Value: c.Value - prev.Counter(c.Name)}
 	}
 	for i, p := range s.Phases {

@@ -53,6 +53,11 @@ type Spec struct {
 	// (core.Config Regions); zero or one keeps the single flat grid. Any
 	// value produces byte-identical results.
 	Regions int
+	// TableCap bounds each node's RTSR interest table to this many live
+	// rows, evicting the lowest-weight transient row on overflow
+	// (core.Config TableCap). Zero keeps tables unbounded — bit-identical
+	// to historical runs.
+	TableCap int
 	// Duration overrides the 24 h default when positive.
 	Duration time.Duration
 	// AreaKm2 overrides the 5 km² default when positive.
@@ -138,6 +143,7 @@ func Build(spec Spec) (core.Config, []core.NodeSpec, error) {
 	cfg.Seed = spec.Seed
 	cfg.Workers = spec.Workers
 	cfg.Regions = spec.Regions
+	cfg.TableCap = spec.TableCap
 	cfg.Scheme = spec.Scheme
 	cfg.Workload = core.DefaultWorkload(vocab)
 	if spec.Duration > 0 {
