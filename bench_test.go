@@ -470,6 +470,70 @@ func BenchmarkBatchedExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkContactChurn isolates the merge-diff contact lifecycle (see
+// DESIGN.md "Contact lifecycle arena & merge-diff") under sustained churn:
+// a waypoint crowd packed to 4× the paper's density, so every tick raises
+// and lapses many contacts at once and the two-pointer diff, the targeted
+// contactList compaction, and the arena free lists all stay hot. Crossed
+// with workers (parallel detect) and regions (sharded detect feeding the
+// same merge). Each iteration retires one simulated second, so ns/op reads
+// as nanoseconds per simulated second; b.ReportAllocs tracks the lifecycle
+// arena's steady-state allocation behavior, with the churn counters
+// reported so a regression in diffing shows up as fewer transitions, not
+// just different timing.
+//
+// -short trims the grid to workers {1,4} × regions=1 at 500 nodes so the
+// CI race bench smoke exercises the serial and parallel diff paths cheaply.
+func BenchmarkContactChurn(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		for _, regions := range []int{1, 4} {
+			if testing.Short() && regions != 1 {
+				continue
+			}
+			nodes := 2000
+			if testing.Short() {
+				nodes = 500
+			}
+			name := fmt.Sprintf("workers=%d/regions=%d", workers, regions)
+			b.Run(name, func(b *testing.B) {
+				spec := scenario.Default(core.SchemeIncentive)
+				spec.Nodes = nodes
+				spec.AreaKm2 = float64(nodes) / 400 // 4× paper density: constant churn
+				spec.Duration = 24 * time.Hour      // never reached; steps driven manually
+				spec.SelfishPercent = 20
+				spec.MeanMessageInterval = 30 * time.Minute
+				spec.Workers = workers
+				spec.Regions = regions
+				cfg, pop, err := scenario.Build(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := core.NewEngine(cfg, pop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm up: populate contacts, the arena pools, and the
+				// periodic schedule.
+				if err := eng.RunFor(context.Background(), 2*time.Minute); err != nil {
+					b.Fatal(err)
+				}
+				before := eng.Snapshot()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.RunFor(context.Background(), time.Second); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				snap := eng.Snapshot().Sub(before)
+				b.ReportMetric(float64(snap.Counter("contacts_up"))/float64(b.N), "ups/sim-s")
+				b.ReportMetric(float64(snap.Counter("contacts_down"))/float64(b.N), "downs/sim-s")
+			})
+		}
+	}
+}
+
 func reportSweep(b *testing.B, points []experiment.Fig51Point) {
 	b.Helper()
 	if len(points) == 0 {

@@ -15,17 +15,27 @@ import (
 // contacts exist solely so the radio coin is flipped once per encounter
 // rather than once per tick.
 //
+// Contacts are arena objects: Engine.acquireContact hands them out of a
+// free list and Engine.releaseContact returns them after teardown, keeping
+// the transfer-queue backing array, the reusable ExchangePlan scratch, and
+// the agenda event handles warm across encounters so steady-state contact
+// churn allocates nothing (DESIGN.md "Contact lifecycle arena &
+// merge-diff").
+//
 // Periodic per-contact work (the RTSR exchange round, reputation gossip) is
 // event-scheduled on the engine's agenda: contact-up schedules the events,
 // contact-down cancels them, and a due event marks the flag consumed by the
 // next tick's contact pass — the tick touches only contacts with something
 // to do instead of re-deriving dueness from timestamps every step.
 type contact struct {
-	pair      world.Pair
-	a, b      *Node
-	open      bool
-	dead      bool
-	seen      uint64
+	pair world.Pair
+	a, b *Node
+	open bool
+	dead bool
+	// listIdx is the contact's current slot in Engine.contactList (creation
+	// order); teardown uses it to compact the list from the first vacated
+	// slot instead of sweeping the whole list.
+	listIdx   int
 	startedAt time.Duration
 	// exchangedAt is when the last RTSR round ran, feeding the T_c − T_v
 	// growth accounting of the next round (interest.Params.GrowthRate).
@@ -60,6 +70,17 @@ func (c *contact) markGossipDue(time.Duration) { c.gossipDue = true }
 
 // pending returns the not-yet-started transfers in negotiation order.
 func (c *contact) pending() []*transfer { return c.queue[c.queueHead:] }
+
+// resetQueue empties the pending queue while keeping the backing array for
+// the contact's next life in the arena; vacated slots are nilled so released
+// transfers are not pinned.
+func (c *contact) resetQueue() {
+	for i := c.queueHead; i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:0]
+	c.queueHead = 0
+}
 
 // push appends a transfer to the pending queue.
 func (c *contact) push(t *transfer) { c.queue = append(c.queue, t) }

@@ -36,12 +36,25 @@ type Engine struct {
 	collector *metrics.Collector
 	interner  *interest.Interner
 
-	contacts    map[world.Pair]*contact
-	contactList []*contact // creation order; the deterministic iteration set
-	peersOf     map[ident.NodeID][]*contact
-	pairScratch []world.Pair
-	downScratch map[world.Pair]bool
-	tickNo      uint64
+	// Contact lifecycle state (see DESIGN.md "Contact lifecycle arena &
+	// merge-diff"). contactList is the creation-order iteration set the
+	// exchange pass walks; liveSorted is the same contacts in canonical
+	// pair order, diffed against each tick's sorted detect output with a
+	// two-pointer merge — no per-pair map on the hot path. Trace replays
+	// get their ups/downs from the cursor instead, so they keep a cold
+	// pair index (tracePairs, nil otherwise). Contacts and transfers are
+	// recycled through free-list arenas, so steady-state churn is
+	// allocation-free.
+	contactList  []*contact // creation order; the deterministic iteration set
+	liveSorted   []*contact // the same contacts in canonical pair order
+	liveScratch  []*contact // double buffer for the sorted-merge diff
+	downsScratch []*contact // contacts lapsing this tick
+	contactPool  []*contact
+	transferPool []*transfer
+	tracePairs   map[world.Pair]*contact // replay-only pair index
+	peersOf      [][]*contact            // node → its open contacts (dense by NodeID)
+	pairScratch  []world.Pair
+	tickNo       uint64
 
 	// workers bounds the intra-tick parallel phases (Config.Workers). The
 	// phases shard work but keep results in canonical order, so any worker
@@ -96,6 +109,7 @@ type Engine struct {
 	// dispatch table, and the run's wall-clock / heartbeat bookkeeping.
 	reg        *obs.Registry
 	ctrUps     *obs.Counter
+	ctrUpsOpen *obs.Counter
 	ctrDowns   *obs.Counter
 	ctrStale   *obs.Counter
 	ctrRebuild *obs.Counter
@@ -172,8 +186,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		judge:       enrich.NewJudge(cfg.Reputation, 0.1),
 		collector:   metrics.NewCollector(),
 		interner:    interest.NewInterner(),
-		contacts:    make(map[world.Pair]*contact),
-		peersOf:     make(map[ident.NodeID][]*contact),
+		peersOf:     make([][]*contact, len(specs)),
 		agenda:      sim.NewEventQueue(),
 		workers:     sim.NewWorkers(cfg.Workers),
 		workloadRNG: sim.NewRNG(cfg.Seed).Fork("workload"),
@@ -248,6 +261,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 				cfg.ContactTrace.MaxNode(), len(e.nodes))
 		}
 		e.traceCursor = trace.NewCursor(cfg.ContactTrace)
+		e.tracePairs = make(map[world.Pair]*contact)
 	}
 	e.runner.AddTicker(sim.TickerFunc(e.tick))
 	e.scheduleWorkload()
@@ -601,9 +615,20 @@ func (e *Engine) filterCandidates(dst []world.Pair) []world.Pair {
 }
 
 // updateContacts diffs the in-range pair set against the live contact set,
-// creating and tearing down contacts. In trace mode the pair set comes from
-// the replay cursor instead of the spatial grid (the whole replay advance
-// is attributed to the contacts phase; there is no geometric detection).
+// creating and tearing down contacts. The live set is carried tick to tick
+// as a pair-sorted slice (liveSorted) parallel to the creation-order
+// contactList, and detectPairs emits a canonically sorted pair list — every
+// connectivity source (flat grid, region-sharded merge, kinetic filter)
+// preserves that invariant — so the diff is a two-pointer sorted merge: no
+// per-pair map lookups, no per-contact tick stamps, and no full-list
+// tombstone sweep. Raises happen mid-merge in pair order (exactly the order
+// the historical pair-list walk produced) and lapses are deferred to
+// teardownContacts, which replays them in creation order — the order the
+// historical contactList sweep used — so runs stay byte-identical.
+//
+// In trace mode the up/down transitions come from the replay cursor instead
+// of the spatial grid (the whole replay advance is attributed to the
+// contacts phase; there is no geometric detection).
 func (e *Engine) updateContacts(now time.Duration) {
 	t := time.Now()
 	if e.traceCursor != nil {
@@ -614,24 +639,39 @@ func (e *Engine) updateContacts(now time.Duration) {
 	e.pairScratch = e.detectPairs(e.pairScratch[:0])
 	t2 := time.Now()
 	e.reg.AddPhase(obs.PhaseDetect, t2.Sub(t))
-	for _, p := range e.pairScratch {
-		if c, ok := e.contacts[p]; ok {
-			c.seen = e.tickNo
-			continue
+	pairs := e.pairScratch
+	old := e.liveSorted
+	next := e.liveScratch[:0]
+	downs := e.downsScratch[:0]
+	i, j := 0, 0
+	for i < len(pairs) && j < len(old) {
+		c := old[j]
+		switch {
+		case pairs[i] == c.pair:
+			next = append(next, c)
+			i++
+			j++
+		case pairs[i].Less(c.pair):
+			next = append(next, e.contactUp(pairs[i], now))
+			i++
+		default:
+			downs = append(downs, c)
+			j++
 		}
-		e.contactUp(p, now)
 	}
-	// Tear down lapsed contacts and compact the ordered list in one pass;
-	// iterating the slice (not the map) keeps runs deterministic.
-	live := e.contactList[:0]
-	for _, c := range e.contactList {
-		if c.seen != e.tickNo {
-			e.contactDown(c)
-			continue
-		}
-		live = append(live, c)
+	for ; i < len(pairs); i++ {
+		next = append(next, e.contactUp(pairs[i], now))
 	}
-	e.contactList = live
+	for ; j < len(old); j++ {
+		downs = append(downs, old[j])
+	}
+	e.liveSorted, e.liveScratch = next, old
+	e.downsScratch = downs
+	if len(downs) > 0 {
+		// The merge already excluded the lapsed contacts from liveSorted, so
+		// teardown needs no live-set pruning.
+		e.teardownContacts(downs, false)
+	}
 	e.reg.AddPhase(obs.PhaseContacts, time.Since(t2))
 }
 
@@ -640,41 +680,87 @@ func (e *Engine) updateContacts(now time.Duration) {
 // a coarse step a churny trace can end one encounter of a pair and begin
 // another within the same advance window, and the new encounter must start
 // fresh (radio coin reflipped, exchange schedule restarted) instead of
-// being swallowed by the dying one.
+// being swallowed by the dying one. Replay keeps the cold tracePairs index
+// because the cursor addresses contacts by pair; the grid paths never
+// touch it.
 func (e *Engine) updateTraceContacts(now time.Duration) {
 	up, down := e.traceCursor.AdvanceTo(now)
 	if len(down) > 0 {
-		if e.downScratch == nil {
-			e.downScratch = make(map[world.Pair]bool, len(down))
-		}
-		clear(e.downScratch)
+		downs := e.downsScratch[:0]
 		for _, ct := range down {
-			e.downScratch[world.Pair{Lo: ct.A, Hi: ct.B}] = true
-		}
-		live := e.contactList[:0]
-		for _, c := range e.contactList {
-			if e.downScratch[c.pair] {
-				e.contactDown(c)
-				continue
+			if c, ok := e.tracePairs[world.Pair{Lo: ct.A, Hi: ct.B}]; ok {
+				downs = append(downs, c)
 			}
-			live = append(live, c)
 		}
-		e.contactList = live
+		e.downsScratch = downs
+		if len(downs) > 0 {
+			// Trace mode never populates liveSorted, so there is nothing to
+			// prune from it.
+			e.teardownContacts(downs, false)
+		}
 	}
 	for _, ct := range up {
 		p := world.Pair{Lo: ct.A, Hi: ct.B}
-		if c, ok := e.contacts[p]; ok {
-			c.seen = e.tickNo
+		if _, ok := e.tracePairs[p]; ok {
 			continue
 		}
 		e.contactUp(p, now)
 	}
 }
 
-func (e *Engine) contactUp(p world.Pair, now time.Duration) {
+// acquireContact takes a contact from the arena free list, or allocates the
+// arena's first-of-a-kind. Recycled contacts keep their transfer-queue
+// backing array, ExchangePlan scratch, and cancelled agenda handles from
+// the previous life; contactUp re-initialises everything else.
+func (e *Engine) acquireContact() *contact {
+	if n := len(e.contactPool); n > 0 {
+		c := e.contactPool[n-1]
+		e.contactPool[n-1] = nil
+		e.contactPool = e.contactPool[:n-1]
+		return c
+	}
+	return &contact{}
+}
+
+// releaseContact returns a torn-down contact to the arena. The caller
+// (teardownContacts) has already run contactDown, so events are cancelled,
+// transfers released, and the queue reset; only the identity fields are
+// cleared here so the next life starts clean without dropping the warm
+// queue array, plan scratch, or event handles.
+func (e *Engine) releaseContact(c *contact) {
+	c.pair = world.Pair{}
+	c.a, c.b = nil, nil
+	c.open, c.dead = false, false
+	c.listIdx = -1
+	c.startedAt, c.exchangedAt = 0, 0
+	c.active = nil
+	e.contactPool = append(e.contactPool, c)
+}
+
+// acquireTransfer takes a transfer from the arena free list.
+func (e *Engine) acquireTransfer() *transfer {
+	if n := len(e.transferPool); n > 0 {
+		t := e.transferPool[n-1]
+		e.transferPool[n-1] = nil
+		e.transferPool = e.transferPool[:n-1]
+		return t
+	}
+	return &transfer{}
+}
+
+// releaseTransfer returns a finished, refused, invalidated, or aborted
+// transfer to the arena. Callers must hold the only remaining reference.
+func (e *Engine) releaseTransfer(t *transfer) {
+	*t = transfer{}
+	e.transferPool = append(e.transferPool, t)
+}
+
+func (e *Engine) contactUp(p world.Pair, now time.Duration) *contact {
 	e.ctrUps.Inc()
 	a, b := e.nodes[p.Lo], e.nodes[p.Hi]
-	c := &contact{pair: p, a: a, b: b, seen: e.tickNo, startedAt: now, exchangedAt: now}
+	c := e.acquireContact()
+	c.pair, c.a, c.b = p, a, b
+	c.startedAt, c.exchangedAt = now, now
 	// The selfish model: "a selfish node has its communication medium open
 	// one out of ten times when it encounters another node". A node whose
 	// radio energy budget is exhausted cannot open at all.
@@ -683,12 +769,16 @@ func (e *Engine) contactUp(p world.Pair, now time.Duration) {
 	} else {
 		c.open = a.profile.RadioOpen(a.rng) && b.profile.RadioOpen(b.rng)
 	}
-	e.contacts[p] = c
+	c.listIdx = len(e.contactList)
 	e.contactList = append(e.contactList, c)
+	if e.tracePairs != nil {
+		e.tracePairs[p] = c
+	}
 	if !c.open {
 		e.collector.RefusedRadioOff()
-		return
+		return c
 	}
+	e.ctrUpsOpen.Inc()
 	e.peersOf[a.id] = append(e.peersOf[a.id], c)
 	e.peersOf[b.id] = append(e.peersOf[b.id], c)
 	a.peerGen++
@@ -704,15 +794,81 @@ func (e *Engine) contactUp(p world.Pair, now time.Duration) {
 	e.runExchange(c, now, e.runner.Clock().Step())
 	// Open contacts get their periodic rounds on the agenda; teardown
 	// cancels them. Closed contacts never exchange, so they get no events.
-	c.exchangeEv = e.agenda.ScheduleAt(now+e.cfg.ExchangeInterval, c.markExchangeDue)
+	// A recycled contact reuses its handles — Reschedule revives a
+	// cancelled event and counts as freshly scheduled, so same-instant FIFO
+	// order matches a fresh ScheduleAt and churn schedules nothing new.
+	if c.exchangeEv == nil {
+		c.exchangeEv = e.agenda.ScheduleAt(now+e.cfg.ExchangeInterval, c.markExchangeDue)
+	} else {
+		c.exchangeEv.Reschedule(now + e.cfg.ExchangeInterval)
+	}
 	if e.cfg.reputationActive() && e.cfg.GossipInterval > 0 {
-		c.gossipEv = e.agenda.ScheduleAt(now+e.cfg.GossipInterval, c.markGossipDue)
+		if c.gossipEv == nil {
+			c.gossipEv = e.agenda.ScheduleAt(now+e.cfg.GossipInterval, c.markGossipDue)
+		} else {
+			c.gossipEv.Reschedule(now + e.cfg.GossipInterval)
+		}
+	}
+	return c
+}
+
+// teardownContacts tears down a batch of lapsed contacts in creation
+// order — byte-identical to the historical full-list sweep — then compacts
+// contactList from the first vacated slot and releases the dead contacts to
+// the arena. The downs slice arrives in arbitrary (pair or cursor) order;
+// sorting the handful of lapses by list index is what preserves the
+// historical teardown order without stamping or sweeping the live set.
+// pruneLive asks for a liveSorted sweep as well — the tick's merge diff
+// excludes lapsed contacts from liveSorted itself, but out-of-band teardown
+// (failure injection) must not leave pooled contacts in the live set.
+func (e *Engine) teardownContacts(downs []*contact, pruneLive bool) {
+	// Insertion sort by creation order: down batches are tiny (contact
+	// churn per tick), and this avoids a sort.Slice closure allocation.
+	for i := 1; i < len(downs); i++ {
+		for j := i; j > 0 && downs[j].listIdx < downs[j-1].listIdx; j-- {
+			downs[j], downs[j-1] = downs[j-1], downs[j]
+		}
+	}
+	for _, c := range downs {
+		e.contactDown(c)
+	}
+	if pruneLive {
+		live := e.liveSorted[:0]
+		for _, c := range e.liveSorted {
+			if !c.dead {
+				live = append(live, c)
+			}
+		}
+		for i := len(live); i < len(e.liveSorted); i++ {
+			e.liveSorted[i] = nil
+		}
+		e.liveSorted = live
+	}
+	list := e.contactList
+	w := downs[0].listIdx
+	for r := w; r < len(list); r++ {
+		c := list[r]
+		if c.dead {
+			continue
+		}
+		c.listIdx = w
+		list[w] = c
+		w++
+	}
+	for r := w; r < len(list); r++ {
+		list[r] = nil
+	}
+	e.contactList = list[:w]
+	for _, c := range downs {
+		e.releaseContact(c)
 	}
 }
 
 func (e *Engine) contactDown(c *contact) {
-	delete(e.contacts, c.pair)
 	c.dead = true
+	if e.tracePairs != nil {
+		delete(e.tracePairs, c.pair)
+	}
 	if c.exchangeEv != nil {
 		c.exchangeEv.Cancel()
 	}
@@ -720,14 +876,15 @@ func (e *Engine) contactDown(c *contact) {
 		c.gossipEv.Cancel()
 	}
 	c.exchangeDue, c.gossipDue, c.planScored = false, false, false
+	e.ctrDowns.Inc()
 	if !c.open {
 		return
 	}
-	e.ctrDowns.Inc()
 	now := e.runner.Clock().Now()
 	e.record(report.Event{At: now, Kind: report.ContactDown, A: c.a.id, B: c.b.id})
 	if c.active != nil {
 		e.abortTransfer(c.active, now)
+		e.releaseTransfer(c.active)
 		c.active = nil
 	}
 	// Queued-but-unstarted transfers die with the contact too; count them
@@ -735,8 +892,9 @@ func (e *Engine) contactDown(c *contact) {
 	// not just the one handover that was mid-flight.
 	for _, t := range c.pending() {
 		e.abortTransfer(t, now)
+		e.releaseTransfer(t)
 	}
-	c.queue, c.queueHead = nil, 0
+	c.resetQueue()
 	e.peersOf[c.a.id] = removeContact(e.peersOf[c.a.id], c)
 	e.peersOf[c.b.id] = removeContact(e.peersOf[c.b.id], c)
 	c.a.peerGen++

@@ -107,7 +107,7 @@ func TestExchangeScratchAllocFree(t *testing.T) {
 	// The engine-level gather: a refresh against an unchanged peerGen is a
 	// single generation compare, and even a forced rebuild reuses the
 	// node's cached slice.
-	e := &Engine{peersOf: map[ident.NodeID][]*contact{center.id: contacts}}
+	e := &Engine{peersOf: [][]*contact{contacts}} // center.id is 0
 	center.peerGen = 1
 	e.refreshNodePeers(center) // grow the cache once
 	if avg := testing.AllocsPerRun(100, func() {

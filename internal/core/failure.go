@@ -26,16 +26,19 @@ func (e *Engine) KillNode(id ident.NodeID) error {
 		return nil
 	}
 	n.killed = true
-	// Tear down the node's live contacts immediately.
-	live := e.contactList[:0]
+	// Tear down the node's live contacts immediately. Walking contactList
+	// yields the downs already in creation order; teardownContacts prunes
+	// the sorted live set since this runs outside the tick's merge diff.
+	downs := e.downsScratch[:0]
 	for _, c := range e.contactList {
 		if c.a == n || c.b == n {
-			e.contactDown(c)
-			continue
+			downs = append(downs, c)
 		}
-		live = append(live, c)
 	}
-	e.contactList = live
+	e.downsScratch = downs
+	if len(downs) > 0 {
+		e.teardownContacts(downs, true)
+	}
 	return nil
 }
 
@@ -51,17 +54,18 @@ func (e *Engine) ReviveNode(id ident.NodeID) error {
 	}
 	n.killed = false
 	// Drop the node's closed contact records so in-range pairs re-form on
-	// the next tick instead of waiting for physical separation.
-	live := e.contactList[:0]
+	// the next tick instead of waiting for physical separation. Open
+	// contacts are untouched — the node kept custody through the crash.
+	downs := e.downsScratch[:0]
 	for _, c := range e.contactList {
 		if !c.open && (c.a == n || c.b == n) {
-			c.dead = true
-			delete(e.contacts, c.pair)
-			continue
+			downs = append(downs, c)
 		}
-		live = append(live, c)
 	}
-	e.contactList = live
+	e.downsScratch = downs
+	if len(downs) > 0 {
+		e.teardownContacts(downs, true)
+	}
 	return nil
 }
 

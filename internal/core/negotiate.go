@@ -23,24 +23,22 @@ import (
 // Under SchemeChitChat all gating is skipped — routing alone decides.
 func (e *Engine) negotiate(u, v *Node, offer routing.Offer, now time.Duration) (*transfer, bool) {
 	m := offer.Msg
-	t := &transfer{
-		from:      u,
-		to:        v,
-		msg:       m,
-		role:      offer.Role,
-		bytesLeft: float64(m.Size),
-	}
 	if offer.Role == routing.RoleDestination && e.collector.WasDelivered(m.ID, v.id) {
 		// Another copy already served this destination; the first
 		// deliverer collected, nobody else will ("a relay ... only
 		// receives the promised incentive ... if it is a first deliverer").
 		return nil, false
 	}
+	t := e.acquireTransfer()
+	t.from, t.to = u, v
+	t.msg, t.role = m, offer.Role
+	t.bytesLeft = float64(m.Size)
 	if !e.cfg.incentiveActive() {
 		return t, true
 	}
 	if e.cfg.reputationActive() && v.rep.ShouldAvoid(u.id) {
 		e.collector.RefusedReputation()
+		e.releaseTransfer(t)
 		return nil, false
 	}
 	promise := e.promiseFor(u, v, offer)
@@ -50,6 +48,7 @@ func (e *Engine) negotiate(u, v *Node, offer routing.Offer, now time.Duration) (
 		award := e.estimateAward(u, v, t)
 		if !v.wallet.CanPay(award) {
 			e.collector.RefusedNoTokens()
+			e.releaseTransfer(t)
 			return nil, false
 		}
 	case routing.RoleRelay:
@@ -60,6 +59,7 @@ func (e *Engine) negotiate(u, v *Node, offer routing.Offer, now time.Duration) (
 				// "If v has that many tokens left, they are awarded to u
 				// and the message is received" — without them it is not.
 				e.collector.RefusedNoTokens()
+				e.releaseTransfer(t)
 				return nil, false
 			}
 			t.prepay = prepay

@@ -16,7 +16,9 @@ import (
 // Counter names exported through Snapshot:
 //
 //	contacts_up         contacts raised (open or refused)
-//	contacts_down       open contacts torn down
+//	contacts_up_open    the subset of raises where both radios opened
+//	contacts_down       contacts torn down (open or refused — symmetric
+//	                    with contacts_up, so up − down = contacts_live)
 //	stale_plans         pre-scored exchange plans discarded as stale
 //	candidate_rebuilds  kinetic candidate-list rebuilds (per region when
 //	                    the world is region-sharded)
@@ -31,6 +33,9 @@ import (
 //	table_rows_live      live interest rows summed over every node's table
 //	table_evictions_cap  rows evicted by the TableCap top-k bound
 //	table_compactions    dense-slice compactions after eviction sweeps
+//	contacts_live        contacts currently up (open and refused records)
+//	contact_pool_free    contacts parked in the lifecycle arena free list
+//	transfer_pool_free   transfers parked in the arena free list
 //
 // Phase names and their attribution are documented on obs.Phase and in
 // DESIGN.md "Observability".
@@ -43,6 +48,7 @@ import (
 func (e *Engine) initObservability(cfg Config) {
 	e.reg = obs.NewRegistry()
 	e.ctrUps = e.reg.Counter("contacts_up")
+	e.ctrUpsOpen = e.reg.Counter("contacts_up_open")
 	e.ctrDowns = e.reg.Counter("contacts_down")
 	e.ctrStale = e.reg.Counter("stale_plans")
 	e.ctrRebuild = e.reg.Counter("candidate_rebuilds")
@@ -74,6 +80,12 @@ func (e *Engine) initObservability(cfg Config) {
 		}
 		return sum
 	})
+	// Contact-lifecycle arena levels (DESIGN.md "Contact lifecycle arena &
+	// merge-diff"): live contacts plus the two free-list depths, so a churny
+	// run can confirm the arena reaches steady state instead of growing.
+	e.reg.Gauge("contacts_live", func() uint64 { return uint64(len(e.contactList)) })
+	e.reg.Gauge("contact_pool_free", func() uint64 { return uint64(len(e.contactPool)) })
+	e.reg.Gauge("transfer_pool_free", func() uint64 { return uint64(len(e.transferPool)) })
 
 	e.observers = append([]obs.Observer(nil), cfg.Observers...)
 	if cfg.Recorder != nil {

@@ -21,7 +21,10 @@ import (
 //   - Every in-range pair is credited to exactly one region — the current
 //     owner of its lower node — and per-region results are concatenated in
 //     region-index order, then sorted with world.SortPairs, reproducing the
-//     flat Grid.Pairs byte stream at any region and worker count.
+//     flat Grid.Pairs byte stream at any region and worker count. That
+//     canonical Pair.Less order is also what the contact lifecycle's
+//     sorted-merge diff consumes (Engine.updateContacts), so the sharded
+//     detect path feeds the merge without any per-source special-casing.
 //   - Per-region kinetic candidate lists track their own displacement
 //     budget; a border handoff marks both the source and destination region
 //     dirty, forcing a same-tick rebuild so pairs are neither lost nor

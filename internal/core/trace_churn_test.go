@@ -98,4 +98,18 @@ func TestTraceChurnReencounterSamePair(t *testing.T) {
 	if res.Delivered != 0 {
 		t.Errorf("delivered = %d, want 0 (no encounter lasts long enough)", res.Delivered)
 	}
+
+	// The merge-diff lifecycle keeps the counters symmetric through
+	// same-tick churn, and the arena ends the run with the recycled
+	// contact parked on its free list.
+	snap := eng.Snapshot()
+	if up, down := snap.Counter("contacts_up"), snap.Counter("contacts_down"); up != 2 || down != 2 {
+		t.Errorf("contacts_up/down = %d/%d, want 2/2", up, down)
+	}
+	if live := snap.Counter("contacts_live"); live != 0 {
+		t.Errorf("contacts_live = %d, want 0", live)
+	}
+	if free := snap.Counter("contact_pool_free"); free != 1 {
+		t.Errorf("contact_pool_free = %d, want 1 (both encounters recycled one arena object)", free)
+	}
 }

@@ -31,6 +31,7 @@ func (e *Engine) progressTransfer(c *contact, now time.Duration) {
 	}
 	c.active = nil
 	e.completeTransfer(c, t, now)
+	e.releaseTransfer(t)
 }
 
 // popValid dequeues the first transfer that is still worth executing:
@@ -44,6 +45,7 @@ func (e *Engine) popValid(c *contact) *transfer {
 			return nil
 		}
 		if !e.stillValid(t) {
+			e.releaseTransfer(t)
 			continue
 		}
 		return t

@@ -330,6 +330,16 @@ type Pair struct {
 	Lo, Hi ident.NodeID
 }
 
+// Less reports whether p precedes q in the canonical lexicographic pair
+// order — the order Pairs returns and the engine's sorted-merge contact
+// diffing walks.
+func (p Pair) Less(q Pair) bool {
+	if p.Lo != q.Lo {
+		return p.Lo < q.Lo
+	}
+	return p.Hi < q.Hi
+}
+
 func orderedPair(a, b ident.NodeID) Pair {
 	if a < b {
 		return Pair{Lo: a, Hi: b}
@@ -344,10 +354,5 @@ func sortIDs(ids []ident.NodeID) {
 // SortPairs orders pairs lexicographically — the canonical order Pairs
 // returns and the engine's contact diffing relies on.
 func SortPairs(ps []Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Lo != ps[j].Lo {
-			return ps[i].Lo < ps[j].Lo
-		}
-		return ps[i].Hi < ps[j].Hi
-	})
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
 }
