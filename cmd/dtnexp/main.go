@@ -23,12 +23,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"dtnsim/internal/experiment"
 	"dtnsim/internal/obs"
 	"dtnsim/internal/prof"
+	"dtnsim/internal/scenario"
 )
 
 func main() {
@@ -44,10 +44,7 @@ func run(args []string) error {
 	profileName := fs.String("profile", "quick", "scale profile: paper, quick, or bench")
 	timeout := fs.Duration("timeout", 0, "optional wall-clock limit for the whole run")
 	parallel := fs.Int("parallel", 0, "sweep-scheduler workers; 0 means GOMAXPROCS, higher values are capped at GOMAXPROCS")
-	runWorkers := fs.Int("workers", 1, "intra-run worker goroutines inside each simulation, capped at GOMAXPROCS (results are identical at any count)")
-	runRegions := fs.Int("regions", 1, "region tiles sharding each simulation's world state (results are identical at any count)")
 	progress := fs.Bool("progress", false, "print live scheduler progress (jobs done/total, sim-s per wall-s, ETA) to stderr")
-	heartbeat := fs.Duration("heartbeat", 0, "per-run wall-clock snapshot interval: feeds the -obs export and keeps the -progress rate live during long runs; 0 disables (defaults to 1s when -progress is set)")
 	obsSpec := fs.String("obs", "", "structured observability export, format jsonl=PATH: one run_start/heartbeat/run_end JSON line per engine run, suite-wide")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -55,8 +52,7 @@ func run(args []string) error {
 	benchWindow := fs.Int("benchwindow", 60, "bench-engine/bench-contacts measured window in simulated seconds per grid point")
 	benchRepeat := fs.Int("benchrepeat", 3, "bench-engine/bench-contacts runs per grid point (fresh engine each); the fastest run is recorded, suppressing scheduler noise on shared hosts")
 	contactsOut := fs.String("contactsout", "BENCH_contacts.json", "output path for the bench-contacts measurement grid")
-	skin := fs.Float64("skin", 0, "kinetic contact-detection skin in metres for bench-contacts' kinetic points (0 = auto, a quarter of the radio range)")
-	tablecap := fs.Int("tablecap", 0, "top-k bound on each node's interest table inside every run: overflow evicts the lowest-weight transient row (0 = unbounded, the historical behaviour)")
+	engineFlags := scenario.BindEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,9 +60,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	profile.Workers = *runWorkers
-	profile.Regions = *runRegions
-	profile.TableCap = *tablecap
+	profile.Workers = engineFlags.Workers
+	profile.Regions = engineFlags.Regions
+	profile.TableCap = engineFlags.TableCap
+	profile.ContactSkin = engineFlags.Skin
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -101,23 +98,17 @@ func run(args []string) error {
 		defer stop()
 	}
 
-	obsv := experiment.Observation{Heartbeat: *heartbeat}
+	obsv := experiment.Observation{Heartbeat: engineFlags.Heartbeat}
 	if *progress && obsv.Heartbeat == 0 {
 		// Keep the live rate moving during long runs, not only at job ends.
 		obsv.Heartbeat = time.Second
 	}
-	var jsonlSink *obs.JSONLSink
-	if *obsSpec != "" {
-		path, ok := strings.CutPrefix(*obsSpec, "jsonl=")
-		if !ok || path == "" {
-			return fmt.Errorf("invalid -obs spec %q (want jsonl=PATH)", *obsSpec)
-		}
-		f, ferr := os.Create(path)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		jsonlSink = obs.NewJSONLSink(f)
+	jsonlSink, jsonlFile, err := obs.OpenJSONL(*obsSpec)
+	if err != nil {
+		return err
+	}
+	if jsonlSink != nil {
+		defer jsonlFile.Close()
 		obsv.Observers = append(obsv.Observers, jsonlSink)
 	}
 	if obsv.Heartbeat > 0 || len(obsv.Observers) > 0 {
@@ -207,7 +198,7 @@ func run(args []string) error {
 			return nil
 		},
 		"bench-contacts": func() error {
-			points, err := experiment.ContactBench(ctx, experiment.ContactBenchGrid(), *benchWindow, *skin, *benchRepeat, os.Stderr)
+			points, err := experiment.ContactBench(ctx, experiment.ContactBenchGrid(), *benchWindow, engineFlags.Skin, *benchRepeat, os.Stderr)
 			if err != nil {
 				return err
 			}

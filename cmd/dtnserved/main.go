@@ -1,0 +1,99 @@
+// Command dtnserved is the simulation-as-a-service control plane: an HTTP
+// API for creating, configuring, starting, watching, and cancelling
+// simulation runs, with live metrics over SSE and full event-trace export.
+// Runs are described by the same canonical scenario spec the dtnsim and
+// dtnexp CLIs build, so an HTTP-created run is byte-for-byte the run the
+// CLI would have produced.
+//
+// Usage:
+//
+//	dtnserved -addr :8080 -max-runs 4
+//
+// Quickstart:
+//
+//	curl -s -X POST localhost:8080/runs \
+//	     -d '{"spec": {"nodes": 500, "duration": "6h"}, "trace": true}'
+//	curl -s -X POST localhost:8080/runs/r1/start
+//	curl -N  localhost:8080/runs/r1/stream        # live SSE heartbeats
+//	curl -s  localhost:8080/runs/r1/trace -o trace.jsonl
+//
+// SIGINT/SIGTERM drain in-flight HTTP requests, cancel every active run,
+// and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dtnsim/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtnserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled. The listening address is announced
+// on out (":0" binds an ephemeral port, so the announcement is the only
+// way to learn it).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dtnserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	maxRuns := fs.Int("max-runs", runtime.GOMAXPROCS(0), "simulations executing concurrently; further started runs queue")
+	spool := fs.String("spool", "", "directory for trace spools (default: the OS temp directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := serve.NewStore(*maxRuns, *spool)
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dtnserved listening on http://%s (max %d concurrent runs)\n", ln.Addr(), *maxRuns)
+
+	srv := &http.Server{
+		Handler: serve.NewServer(store),
+		// Request contexts descend from ctx, so long-lived SSE streams
+		// unwind on their own when the daemon is told to stop — without
+		// this they would pin Shutdown until its deadline.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(sctx)
+	}()
+
+	err = srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if ctx.Err() != nil {
+		// Shutdown path: surface a drain failure, not the benign close.
+		if serr := <-shutdownErr; serr != nil && !errors.Is(serr, context.DeadlineExceeded) {
+			return serr
+		}
+		fmt.Fprintln(out, "dtnserved: shut down cleanly")
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// addrWriter intercepts the daemon's listen announcement and surfaces the
+// bound address, which is the only way to learn an ephemeral port.
+type addrWriter struct {
+	buf   bytes.Buffer
+	addrs chan string
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+func (w *addrWriter) Write(p []byte) (int, error) {
+	n, _ := w.buf.Write(p)
+	if m := listenLine.FindSubmatch(w.buf.Bytes()); m != nil {
+		select {
+		case w.addrs <- string(m[1]):
+		default:
+		}
+	}
+	return n, nil
+}
+
+// TestDaemonEndToEnd drives the full binary path: boot, create a run over
+// HTTP, stream two live heartbeats, cancel the run, and shut the daemon
+// down cleanly — the CI smoke job in Go form.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, stop := context.WithCancel(context.Background())
+	out := &addrWriter{addrs: make(chan string, 1)}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-max-runs", "2", "-spool", t.TempDir()}, out)
+	}()
+	var base string
+	select {
+	case base = <-out.addrs:
+	case <-time.After(10 * time.Second):
+		stop()
+		t.Fatalf("daemon never announced its address; output: %s", out.buf.Bytes())
+	}
+	defer func() {
+		stop()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exited with error: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}()
+
+	post := func(path, body string, want int) []byte {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s = %d (%s), want %d", path, resp.StatusCode, raw, want)
+		}
+		return raw
+	}
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	body := post("/runs", `{"spec": {"nodes": 120, "keyword_pool": 40, "interests_per_node": 5,
+		"area_km2": 1.5, "duration": "24h", "heartbeat": "20ms"}}`, http.StatusCreated)
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		t.Fatalf("create response %s: %v", body, err)
+	}
+	post("/runs/"+created.ID+"/start", "", http.StatusAccepted)
+
+	resp, err := http.Get(base + "/runs/" + created.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	heartbeats := 0
+	deadline := time.Now().Add(20 * time.Second)
+	for heartbeats < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saw %d heartbeats before the deadline", heartbeats)
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) == "event: heartbeat" {
+			heartbeats++
+		}
+	}
+
+	post("/runs/"+created.ID+"/cancel", "", http.StatusAccepted)
+	// The stream must terminate with an end frame after cancellation.
+	endSeen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(line) == "event: end" {
+			endSeen = true
+		}
+	}
+	if !endSeen {
+		t.Fatal("stream closed without an end frame after cancel")
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"dtnsim/internal/core"
@@ -51,27 +50,18 @@ func run(args []string) error {
 		connPath  = fs.String("conntrace", "", "write a ONE-style connectivity trace to this file")
 		replay    = fs.String("replay", "", "replay connectivity from a ONE-style trace file instead of mobility")
 		battery   = fs.Float64("battery", 0, "per-node radio energy budget in joules (0 = unlimited)")
-		workers   = fs.Int("workers", 1, "intra-run worker goroutines for the parallel step pipeline, capped at GOMAXPROCS (results are identical at any count)")
-		regions   = fs.Int("regions", 1, "region tiles sharding the world state; each region owns its nodes and grid with deterministic border handoff (results are identical at any count)")
-		tablecap  = fs.Int("tablecap", 0, "top-k bound on each node's interest table: overflow evicts the lowest-weight transient row (0 = unbounded, the historical behaviour)")
-		skin      = fs.Float64("skin", 0, "kinetic contact-detection skin in metres (0 = auto, a quarter of the radio range; negative forces the full per-tick scan; results are identical at any value)")
-		heartbeat = fs.Duration("heartbeat", 0, "wall-clock heartbeat interval: print a live progress snapshot (sim/wall position, rates, per-phase timers) on this cadence; 0 disables")
 		obsSpec   = fs.String("obs", "", "structured observability export, format jsonl=PATH: write run_start/heartbeat/run_end snapshots as JSON lines")
 		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
+	engineFlags := scenario.BindEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var scheme core.Scheme
-	switch *schemeStr {
-	case "chitchat":
-		scheme = core.SchemeChitChat
-	case "incentive":
-		scheme = core.SchemeIncentive
-	default:
-		return fmt.Errorf("unknown scheme %q", *schemeStr)
+	scheme, err := core.SchemeByName(*schemeStr)
+	if err != nil {
+		return err
 	}
 
 	spec := scenario.Default(scheme)
@@ -84,11 +74,9 @@ func run(args []string) error {
 	spec.InitialTokens = *tokens
 	spec.Seed = *seed
 	spec.Step = *step
-	spec.Workers = *workers
-	spec.Regions = *regions
-	spec.TableCap = *tablecap
 	spec.ClassSplit = *classes
 	spec.BatteryJoules = *battery
+	engineFlags.Apply(&spec)
 	if *router != "chitchat" {
 		spec.RouterName = *router
 	}
@@ -97,7 +85,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg.ContactSkin = *skin
 	if *replay != "" {
 		f, ferr := os.Open(*replay)
 		if ferr != nil {
@@ -136,24 +123,17 @@ func run(args []string) error {
 		stats = report.NewContactStats()
 		cfg.Observers = append(cfg.Observers, obs.Record(stats))
 	}
-	var jsonlSink *obs.JSONLSink
-	if *obsSpec != "" {
-		path, ok := strings.CutPrefix(*obsSpec, "jsonl=")
-		if !ok || path == "" {
-			return fmt.Errorf("invalid -obs spec %q (want jsonl=PATH)", *obsSpec)
-		}
-		f, ferr := os.Create(path)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		jsonlSink = obs.NewJSONLSink(f)
+	jsonlSink, jsonlFile, err := obs.OpenJSONL(*obsSpec)
+	if err != nil {
+		return err
+	}
+	if jsonlSink != nil {
+		defer jsonlFile.Close()
 		cfg.Observers = append(cfg.Observers, jsonlSink)
 	}
-	if *heartbeat > 0 {
+	if engineFlags.Heartbeat > 0 {
 		cfg.Observers = append(cfg.Observers, obs.NewLogSink(os.Stderr))
 	}
-	cfg.Heartbeat = *heartbeat
 
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -21,7 +22,6 @@ import (
 	"dtnsim/internal/interest"
 	"dtnsim/internal/obs"
 	"dtnsim/internal/radio"
-	"dtnsim/internal/report"
 	"dtnsim/internal/reputation"
 	"dtnsim/internal/routing"
 	"dtnsim/internal/trace"
@@ -51,6 +51,48 @@ func (s Scheme) String() string {
 	default:
 		return fmt.Sprintf("scheme-%d", int(s))
 	}
+}
+
+// SchemeByName resolves a scheme from its canonical name.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "chitchat":
+		return SchemeChitChat, nil
+	case "incentive":
+		return SchemeIncentive, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %q (want chitchat or incentive)", name)
+	}
+}
+
+// MarshalJSON encodes the scheme as its canonical name, so serialized run
+// descriptions read "incentive" rather than a bare enum ordinal.
+func (s Scheme) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts either the canonical name or the numeric ordinal
+// (the historical wire form for anyone who serialized the raw int).
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		v, verr := SchemeByName(name)
+		if verr != nil {
+			return verr
+		}
+		*s = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("core: scheme must be a name or ordinal, got %s", b)
+	}
+	v := Scheme(n)
+	if v != SchemeChitChat && v != SchemeIncentive {
+		return fmt.Errorf("core: unknown scheme ordinal %d", n)
+	}
+	*s = v
+	return nil
 }
 
 // ReputationModel selects the reputation implementation.
@@ -188,14 +230,6 @@ type Config struct {
 	// this wall-clock interval (checked after the tick that crosses it).
 	// Zero disables heartbeats.
 	Heartbeat time.Duration
-	// Recorder, when non-nil, receives the run's event trace (contacts,
-	// handovers, deliveries, payments, enrichment) for the report writers.
-	// It is adapted onto the observer API via obs.Record and runs after
-	// any Observers.
-	//
-	// Deprecated: append obs.Record(r) — or a full obs.Observer — to
-	// Observers instead.
-	Recorder report.Recorder
 	// ContactTrace, when non-nil, replays recorded connectivity instead of
 	// deriving contacts from mobility and radio range; node IDs in the
 	// trace must exist in the network. Friis distances are not available

@@ -130,6 +130,12 @@ type Engine struct {
 	// same-tick teardown, exactly as the historical per-contact polling was.
 	agenda *sim.EventQueue
 
+	// Mid-run control surface (see control.go): external goroutines enqueue
+	// mutations; the standing pre-tick event controlEv drains them on the sim
+	// goroutine at step boundaries.
+	controls  controlQueue
+	controlEv *sim.Handle
+
 	honest    []ident.NodeID
 	malicious []ident.NodeID
 
@@ -264,6 +270,7 @@ func NewEngine(cfg Config, specs []NodeSpec) (*Engine, error) {
 		e.tracePairs = make(map[world.Pair]*contact)
 	}
 	e.runner.AddTicker(sim.TickerFunc(e.tick))
+	e.initControls()
 	e.scheduleWorkload()
 	if cfg.RatingSampleInterval > 0 {
 		e.scheduleSample(cfg.RatingSampleInterval)

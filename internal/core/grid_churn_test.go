@@ -8,6 +8,7 @@ import (
 	"dtnsim/internal/behavior"
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/world"
 )
@@ -42,7 +43,7 @@ func TestGridChurnReencounterSamePair(t *testing.T) {
 	cfg := lineConfig(t, core.SchemeIncentive)
 	cfg.Step = 10 * time.Second
 	cfg.Duration = 60 * time.Second
-	cfg.Recorder = rec
+	cfg.Observers = []obs.Observer{obs.Record(rec)}
 	in := world.Point{X: 150, Y: 100}  // 50 m from B: inside the 100 m range
 	out := world.Point{X: 500, Y: 100} // 400 m: far outside
 	mob := &scripted{at: out, script: []world.Point{in, out, in, in, in, in}}

@@ -61,6 +61,11 @@ type Node struct {
 	// buffer's earliest deadline by Engine.armExpiry. Nil until the first
 	// TTL-carrying message lands in the buffer.
 	expiryEv *sim.Handle
+	// workloadEv is the node's pending Poisson message-origination event
+	// (Engine.scheduleNextMessage). Holding the handle lets a mid-run
+	// workload-rate control re-arm or disarm generation without leaving a
+	// stale firing behind. Nil while generation has never been armed.
+	workloadEv *sim.Handle
 	// peerGen counts changes to the node's peersOf list (open contacts
 	// raised or torn down); peerTables caches the interest tables of those
 	// contacts' far endpoints and peerTablesGen records the generation it

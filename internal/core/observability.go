@@ -41,10 +41,9 @@ import (
 // DESIGN.md "Observability".
 
 // initObservability builds the registry, the hot-path counter handles, and
-// the per-kind observer dispatch table. Config.Observers come first, in
-// order; a legacy Config.Recorder is adapted via obs.Record and appended
-// last, so the recorder sees the exact stream it saw before the observer
-// API existed.
+// the per-kind observer dispatch table. Config.Observers is the only
+// subscription surface; legacy report.Recorders attach through the
+// obs.Record adapter at whatever position the caller appends them.
 func (e *Engine) initObservability(cfg Config) {
 	e.reg = obs.NewRegistry()
 	e.ctrUps = e.reg.Counter("contacts_up")
@@ -88,9 +87,6 @@ func (e *Engine) initObservability(cfg Config) {
 	e.reg.Gauge("transfer_pool_free", func() uint64 { return uint64(len(e.transferPool)) })
 
 	e.observers = append([]obs.Observer(nil), cfg.Observers...)
-	if cfg.Recorder != nil {
-		e.observers = append(e.observers, obs.Record(cfg.Recorder))
-	}
 	e.obsByKind = make([][]obs.Observer, int(report.TagAdded)+1)
 	for _, o := range e.observers {
 		kinds := report.AllKinds()

@@ -152,8 +152,7 @@ func TestEngineObserverOrderAndRecorderLast(t *testing.T) {
 		return observerFunc{name: name, order: &order}
 	}
 	var legacy report.Buffer
-	cfg.Observers = []obs.Observer{mk("first"), mk("second")}
-	cfg.Recorder = &legacy // deprecated path: adapted and appended last
+	cfg.Observers = []obs.Observer{mk("first"), mk("second"), obs.Record(&legacy)}
 	eng, err := core.NewEngine(cfg, specs)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+
+	"dtnsim/internal/obs"
+)
+
+// RunHandle drives one Engine.Run on a background goroutine and exposes
+// the lifecycle a control plane needs: cancellation, completion waiting,
+// and the final result/snapshot once the run ends. The engine itself
+// stays single-goroutine — the handle only owns the goroutine driving it
+// plus the context used to stop it; mid-run interaction goes through
+// Engine.Control.
+type RunHandle struct {
+	eng    *Engine
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// Written by the run goroutine before done closes; read-only after.
+	res  Result
+	err  error
+	snap obs.Snapshot
+}
+
+// StartRun launches e.Run(ctx) on a new goroutine and returns the handle.
+// The run stops when ctx is cancelled, the handle is cancelled, or the
+// configured duration completes — whichever comes first. The final
+// Result and Snapshot are captured even on cancellation (a cancelled run
+// reports the metrics accumulated so far).
+func StartRun(ctx context.Context, e *Engine) *RunHandle {
+	ctx, cancel := context.WithCancel(ctx)
+	h := &RunHandle{eng: e, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer cancel()
+		res, err := e.Run(ctx)
+		if err != nil {
+			// Cancelled mid-run: Engine.Run returns an empty Result, but the
+			// engine state is intact — summarise what the run accumulated.
+			res = e.result()
+		}
+		h.res, h.err = res, err
+		h.snap = e.Snapshot()
+	}()
+	return h
+}
+
+// Cancel stops the run. Safe to call from any goroutine, repeatedly, and
+// after completion. It returns immediately; use Done or Wait to observe
+// the run actually stopping.
+func (h *RunHandle) Cancel() { h.cancel() }
+
+// Done is closed once the run goroutine has finished and the final
+// result/snapshot are readable.
+func (h *RunHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the run finishes or ctx is cancelled. It returns the
+// run's error (nil for a clean completion, the driving context's error
+// for a cancelled run) — or ctx.Err() if the wait itself was abandoned.
+func (h *RunHandle) Wait(ctx context.Context) error {
+	select {
+	case <-h.done:
+		return h.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err returns the run error; valid once Done is closed.
+func (h *RunHandle) Err() error {
+	<-h.done
+	return h.err
+}
+
+// Result returns the run summary, blocking until the run finishes.
+func (h *RunHandle) Result() Result {
+	<-h.done
+	return h.res
+}
+
+// Snapshot returns the final observability snapshot, blocking until the
+// run finishes. For a live mid-run view, subscribe an observer before the
+// run starts (Config.Observers) and read its heartbeats instead.
+func (h *RunHandle) Snapshot() obs.Snapshot {
+	<-h.done
+	return h.snap
+}

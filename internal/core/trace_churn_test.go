@@ -8,6 +8,7 @@ import (
 	"dtnsim/internal/behavior"
 	"dtnsim/internal/core"
 	"dtnsim/internal/message"
+	"dtnsim/internal/obs"
 	"dtnsim/internal/report"
 	"dtnsim/internal/trace"
 )
@@ -33,9 +34,7 @@ func TestTraceChurnReencounterSamePair(t *testing.T) {
 	cfg.Step = 10 * time.Second
 	cfg.ContactTrace = sched
 	cfg.Duration = 40 * time.Second
-	// Deliberately uses the deprecated Config.Recorder path: this is the
-	// coverage for the legacy adapter (obs.Record wiring inside NewEngine).
-	cfg.Recorder = rec
+	cfg.Observers = []obs.Observer{obs.Record(rec)}
 	specs := []core.NodeSpec{
 		{Profile: behavior.CooperativeProfile(), Mobility: stationary(0, 0)},
 		{Profile: behavior.CooperativeProfile(), Mobility: stationary(0, 0), Interests: []string{"kw-0"}},

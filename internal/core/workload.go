@@ -116,17 +116,38 @@ func (e *Engine) scheduleWorkload() {
 	}
 }
 
+// scheduleNextMessage (re)arms n's next origination from the current mean
+// interval, disarming instead when generation is off or the draw lands past
+// the configured duration. Each node holds one reusable event handle, so a
+// mid-run rate control (SetWorkloadMeanInterval) can redraw every pending
+// delay without stranding stale firings; Reschedule counts as freshly
+// scheduled, so same-instant FIFO order matches the historical per-arm
+// Schedule calls exactly.
 func (e *Engine) scheduleNextMessage(n *Node) {
 	mean := e.cfg.Workload.MeanInterval.Seconds()
+	if mean <= 0 {
+		// Generation disabled — possibly mid-run, with a draw still pending.
+		if n.workloadEv != nil {
+			n.workloadEv.Cancel()
+		}
+		return
+	}
 	delay := time.Duration(e.workloadRNG.ExpDuration(mean) * float64(time.Second))
 	if delay < e.cfg.Step {
 		delay = e.cfg.Step
 	}
 	at := e.runner.Clock().Now() + delay
 	if at > e.cfg.Duration {
+		if n.workloadEv != nil {
+			n.workloadEv.Cancel()
+		}
 		return
 	}
-	e.runner.Schedule(at, func(time.Duration) {
+	if n.workloadEv != nil {
+		n.workloadEv.Reschedule(at)
+		return
+	}
+	n.workloadEv = e.runner.Schedule(at, func(time.Duration) {
 		t := time.Now()
 		e.originate(n, e.runner.Clock().Now())
 		e.scheduleNextMessage(n)

@@ -51,6 +51,11 @@ type Profile struct {
 	// rows (scenario.Spec TableCap); zero keeps tables unbounded and the
 	// figures bit-identical to historical runs.
 	TableCap int
+	// ContactSkin sets each run's kinetic contact-detection skin in metres
+	// (scenario.Spec ContactSkin); zero picks the engine default, negative
+	// forces the full per-tick scan. Results are byte-identical at any
+	// value.
+	ContactSkin float64
 }
 
 // The standard profiles. All keep the paper's density of 100 nodes/km².
@@ -113,6 +118,7 @@ func (p Profile) baseSpec(scheme core.Scheme) scenario.Spec {
 	spec.Workers = p.Workers
 	spec.Regions = p.Regions
 	spec.TableCap = p.TableCap
+	spec.ContactSkin = p.ContactSkin
 	return spec
 }
 

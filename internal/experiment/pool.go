@@ -187,6 +187,11 @@ func (g *group) submit(simSeconds float64, fn func(ctx context.Context) error) {
 // freeing its slot to whoever steals its sub-jobs.
 func (g *group) wait() error {
 	p := g.p
+	// A cancelled group must not wait for execution slots just to skip its
+	// queued jobs one by one: withdraw them the moment the context dies, so
+	// the waiter unblocks as soon as the group's *executing* jobs land.
+	stop := context.AfterFunc(g.ctx, func() { p.withdraw(g) })
+	defer stop()
 	p.mu.Lock()
 	if g.fromExec {
 		p.stalled++
@@ -206,6 +211,48 @@ func (g *group) wait() error {
 	p.mu.Unlock()
 	g.cancel()
 	return err
+}
+
+// withdraw removes g's still-queued jobs after its context is cancelled,
+// recording the context error as the group's failure. Jobs already
+// executing are untouched — they observe the cancelled context themselves
+// and their completions are what the group's waiter still waits for.
+func (p *Pool) withdraw(g *group) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.queue[:0]
+	for _, j := range p.queue {
+		if j.g != g {
+			kept = append(kept, j)
+			continue
+		}
+		g.pending--
+		if g.err == nil {
+			g.err = g.ctx.Err()
+		}
+		if p.progress != nil {
+			p.progress.complete(j.simSeconds)
+		}
+	}
+	for i := len(kept); i < len(p.queue); i++ {
+		p.queue[i] = nil
+	}
+	p.queue = kept
+	p.cond.Broadcast()
+}
+
+// Run executes fn as one pool job and blocks until it completes,
+// returning fn's error (or ctx's, if it was already cancelled). It is the
+// single-job face of the group machinery, built for callers outside this
+// package that need the pool's discipline — bounded concurrent execution
+// with work-stealing waits — without a sweep: dtnserved submits each
+// simulation run this way, so HTTP-created runs and batch sweeps share
+// one concurrency model. simSeconds is the job's simulated span, credited
+// to the progress reporter.
+func (p *Pool) Run(ctx context.Context, simSeconds float64, fn func(ctx context.Context) error) error {
+	g := p.newGroup(ctx)
+	g.submit(simSeconds, fn)
+	return g.wait()
 }
 
 // poolKey carries the suite-wide Pool through a context.

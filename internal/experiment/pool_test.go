@@ -127,6 +127,53 @@ func TestNestedSubmissionDoesNotDeadlock(t *testing.T) {
 	}
 }
 
+// TestCancelledWaitWithdrawsQueuedJobs pins the withdrawal contract: when
+// a group's context dies while its jobs still sit in the queue behind a
+// busy worker, the waiter unblocks immediately — it must not wait for an
+// execution slot just to skip each job — and the queued jobs never run.
+func TestCancelledWaitWithdrawsQueuedJobs(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	// Occupy the only worker until the test ends.
+	holdCtx, release := context.WithCancel(context.Background())
+	defer release()
+	holding := make(chan struct{})
+	hold := pool.newGroup(context.Background())
+	hold.submit(0, func(context.Context) error {
+		close(holding)
+		<-holdCtx.Done()
+		return nil
+	})
+	<-holding
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g := pool.newGroup(ctx)
+	ran := false
+	g.submit(0, func(context.Context) error {
+		ran = true
+		return nil
+	})
+	time.AfterFunc(10*time.Millisecond, cancel)
+	done := make(chan error, 1)
+	go func() { done <- g.wait() }()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled wait stayed blocked behind a busy worker")
+	}
+	release()
+	if err := hold.wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("withdrawn job ran anyway")
+	}
+}
+
 func TestProgressCounters(t *testing.T) {
 	pr := NewProgress()
 	pool := NewPool(2)

@@ -50,8 +50,8 @@ type Meta struct {
 //
 //   - RunStart fires once, when the engine first starts advancing time.
 //   - Event fires for every report.Event the run emits, in emission order
-//     (the same order the deprecated Config.Recorder saw), filtered by
-//     Kinds when the observer implements KindFilter.
+//     (the same order a legacy report.Recorder saw), filtered by Kinds
+//     when the observer implements KindFilter.
 //   - Heartbeat fires on the configured wall-clock interval
 //     (Config.Heartbeat), after the tick that crossed the interval.
 //   - RunEnd fires once at the end of Engine.Run, with the final snapshot.
@@ -99,9 +99,8 @@ type recorderObserver struct {
 func (o recorderObserver) Event(e report.Event) { o.r.Record(e) }
 
 // Record adapts a report.Recorder to the Observer API. It is the
-// compatibility bridge for the deprecated Config.Recorder field and for the
-// report package's writers (ConnTraceWriter, JSONLWriter, ContactStats, …),
-// which remain plain Recorders: the adapter forwards every event in
-// emission order, so a wrapped recorder sees the byte-identical stream it
-// saw before the observer API existed.
+// compatibility bridge for the report package's writers (ConnTraceWriter,
+// JSONLWriter, ContactStats, …), which remain plain Recorders: the adapter
+// forwards every event in emission order, so a wrapped recorder sees the
+// byte-identical stream it saw before the observer API existed.
 func Record(r report.Recorder) Observer { return recorderObserver{r: r} }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,6 +77,26 @@ func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// OpenJSONL resolves a structured-export flag of the form "jsonl=PATH":
+// it creates PATH and returns the sink plus the file for the caller to
+// close once the run ends (after checking Err). An empty spec is not an
+// export request and returns (nil, nil, nil), so callers can pass the
+// flag value through unconditionally.
+func OpenJSONL(spec string) (*JSONLSink, io.Closer, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	path, ok := strings.CutPrefix(spec, "jsonl=")
+	if !ok || path == "" {
+		return nil, nil, fmt.Errorf("obs: invalid export spec %q (want jsonl=PATH)", spec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewJSONLSink(f), f, nil
 }
 
 // LogSink is the human-readable heartbeat printer behind dtnsim's

@@ -83,9 +83,7 @@ func AllKinds() []Kind {
 // obs.Record and appending it to Config.Observers. Writing new observation
 // code against Recorder is deprecated — implement obs.Observer instead,
 // which adds the lifecycle signals, per-kind filtering, and snapshot
-// export a plain Recorder cannot see. The legacy Config.Recorder field
-// feeds through the same obs.Record adapter and carries the machine-
-// readable deprecation marker.
+// export a plain Recorder cannot see.
 type Recorder interface {
 	Record(Event)
 }

@@ -58,6 +58,14 @@ type Spec struct {
 	// (core.Config TableCap). Zero keeps tables unbounded — bit-identical
 	// to historical runs.
 	TableCap int
+	// ContactSkin sets the kinetic contact-detection skin in metres
+	// (core.Config ContactSkin): zero picks the engine default, negative
+	// disables the kinetic path. Any value produces byte-identical results.
+	ContactSkin float64
+	// Heartbeat sets the wall-clock interval between observer heartbeat
+	// snapshots (core.Config Heartbeat); zero disables them. Heartbeats
+	// never perturb the run itself.
+	Heartbeat time.Duration
 	// Duration overrides the 24 h default when positive.
 	Duration time.Duration
 	// AreaKm2 overrides the 5 km² default when positive.
@@ -144,6 +152,8 @@ func Build(spec Spec) (core.Config, []core.NodeSpec, error) {
 	cfg.Workers = spec.Workers
 	cfg.Regions = spec.Regions
 	cfg.TableCap = spec.TableCap
+	cfg.ContactSkin = spec.ContactSkin
+	cfg.Heartbeat = spec.Heartbeat
 	cfg.Scheme = spec.Scheme
 	cfg.Workload = core.DefaultWorkload(vocab)
 	if spec.Duration > 0 {

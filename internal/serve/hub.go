@@ -1,0 +1,194 @@
+// Package serve is the simulation-as-a-service control plane behind
+// cmd/dtnserved: a concurrent run store over the canonical scenario.Spec
+// run description, bounded execution on the experiment pool's discipline,
+// and per-run SSE streaming of the engine's obs heartbeats. See DESIGN.md
+// "Control plane".
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"dtnsim/internal/obs"
+	"dtnsim/internal/report"
+)
+
+// frame is one SSE message: an event name and a JSON payload line.
+type frame struct {
+	event string
+	data  []byte
+}
+
+// hub fans one run's observer lifecycle out to any number of SSE
+// subscribers. It is wired into the engine as an observer, so every
+// callback runs synchronously on the simulation goroutine — the cardinal
+// rule is that nothing here may block. Subscriber channels are buffered
+// and sends are non-blocking: a stalled consumer loses frames (counted in
+// dropped, exported as serve_dropped_frames) instead of stalling the
+// simulation or any other subscriber.
+//
+// The hub subscribes to no event kinds (Kinds returns an empty non-nil
+// slice), so attaching it adds nothing to the engine's per-event hot path
+// and cannot perturb golden traces.
+type hub struct {
+	dropped atomic.Uint64
+
+	mu       sync.Mutex
+	subs     map[chan frame]struct{}
+	last     []byte // latest heartbeat snapshot JSON, for polling status
+	meta     []byte // run_start meta JSON, replayed to late subscribers
+	done     bool
+	endFrame frame
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan frame]struct{})}
+}
+
+var (
+	_ obs.Observer   = (*hub)(nil)
+	_ obs.KindFilter = (*hub)(nil)
+)
+
+// Kinds implements obs.KindFilter: heartbeats only, no events.
+func (h *hub) Kinds() []report.Kind { return []report.Kind{} }
+
+// subscriberBuffer is each subscriber channel's capacity. Deep enough to
+// absorb scheduling hiccups in a healthy consumer; a genuinely stalled
+// one fills it and starts dropping.
+const subscriberBuffer = 16
+
+// subscribe registers a new SSE consumer. The returned channel closes
+// when the run finishes (after an "end" frame) or when unsubscribe is
+// called. Subscribing to a finished run yields the end frame immediately.
+func (h *hub) subscribe() (<-chan frame, func()) {
+	ch := make(chan frame, subscriberBuffer)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		ch <- h.endFrame
+		close(ch)
+		return ch, func() {}
+	}
+	if h.meta != nil {
+		ch <- frame{event: "run_start", data: h.meta}
+	}
+	h.subs[ch] = struct{}{}
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// broadcast delivers f to every subscriber without blocking; full
+// channels drop the frame and bump the counter.
+func (h *hub) broadcast(f frame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- f:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// finish ends the stream: one final "end" frame with the run's terminal
+// state, then every subscriber channel closes. Idempotent — the engine's
+// own RunEnd does not fire on cancellation, so the store calls finish
+// unconditionally when the run goroutine exits. The end frame bypasses
+// the drop policy via a final blocking-free guarantee: it replaces the
+// oldest queued frame if the buffer is full, so even a slow consumer
+// observes termination.
+func (h *hub) finish(state string) {
+	data, _ := json.Marshal(map[string]string{"state": state})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	h.endFrame = frame{event: "end", data: data}
+	for ch := range h.subs {
+		for {
+			select {
+			case ch <- h.endFrame:
+			default:
+				select {
+				case <-ch: // evict the oldest frame and retry
+					h.dropped.Add(1)
+					continue
+				default:
+					// Raced a concurrent read that freed space; retry the send.
+					continue
+				}
+			}
+			break
+		}
+		close(ch)
+	}
+	h.subs = nil
+}
+
+// Dropped reports how many frames were discarded on slow consumers.
+func (h *hub) Dropped() uint64 { return h.dropped.Load() }
+
+// LastSnapshot returns the most recent heartbeat snapshot as raw JSON,
+// or nil before the first heartbeat. This is what GET /runs/{id} shows
+// for a running simulation — the engine itself must never be touched
+// from an HTTP goroutine.
+func (h *hub) LastSnapshot() json.RawMessage {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// RunStart implements obs.Observer.
+func (h *hub) RunStart(m obs.Meta) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.meta = data
+	h.mu.Unlock()
+	h.broadcast(frame{event: "run_start", data: data})
+}
+
+// Event implements obs.Observer; never called thanks to Kinds.
+func (h *hub) Event(report.Event) {}
+
+// Heartbeat implements obs.Observer.
+func (h *hub) Heartbeat(snap obs.Snapshot) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.last = data
+	h.mu.Unlock()
+	h.broadcast(frame{event: "heartbeat", data: data})
+}
+
+// RunEnd implements obs.Observer. The final snapshot is recorded for
+// status polling; stream termination is the store's finish call, which
+// also covers cancelled runs where RunEnd never fires.
+func (h *hub) RunEnd(snap obs.Snapshot) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.last = data
+	h.mu.Unlock()
+	h.broadcast(frame{event: "run_end", data: data})
+}

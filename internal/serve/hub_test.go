@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"testing"
+
+	"dtnsim/internal/obs"
+)
+
+// drain reads every frame until the channel closes.
+func drain(ch <-chan frame) []frame {
+	var out []frame
+	for f := range ch {
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestHubDropsOnStalledReader is the non-blocking guarantee: a subscriber
+// that never reads cannot stall the simulation goroutine. Frames beyond
+// the channel buffer are discarded and counted, and the terminal end
+// frame still gets through by evicting backlog.
+func TestHubDropsOnStalledReader(t *testing.T) {
+	h := newHub()
+	ch, unsub := h.subscribe()
+	defer unsub()
+
+	h.RunStart(obs.Meta{Nodes: 5, Scheme: "incentive"})
+	const beats = 3 * subscriberBuffer
+	for i := 0; i < beats; i++ {
+		h.Heartbeat(obs.Snapshot{}) // reader stalled: nothing consumes ch
+	}
+	if h.Dropped() == 0 {
+		t.Fatalf("no frames dropped after %d unread heartbeats into a %d-slot buffer",
+			beats, subscriberBuffer)
+	}
+	want := uint64(1 + beats - subscriberBuffer) // run_start + overflow beats
+	if got := h.Dropped(); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+
+	h.finish("done")
+	frames := drain(ch)
+	if len(frames) != subscriberBuffer {
+		t.Fatalf("stalled reader drained %d frames, want a full buffer of %d",
+			len(frames), subscriberBuffer)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "end" || string(last.data) != `{"state":"done"}` {
+		t.Fatalf("final frame = %s %s, want the end frame", last.event, last.data)
+	}
+}
+
+func TestHubHealthyReaderSeesEverything(t *testing.T) {
+	h := newHub()
+	ch, unsub := h.subscribe()
+	defer unsub()
+
+	h.RunStart(obs.Meta{Nodes: 5})
+	h.Heartbeat(obs.Snapshot{})
+	h.RunEnd(obs.Snapshot{})
+	h.finish("done")
+
+	frames := drain(ch)
+	var events []string
+	for _, f := range frames {
+		events = append(events, f.event)
+	}
+	want := []string{"run_start", "heartbeat", "run_end", "end"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+	if h.Dropped() != 0 {
+		t.Fatalf("healthy reader dropped %d frames", h.Dropped())
+	}
+}
+
+func TestHubLateSubscriberReplaysMeta(t *testing.T) {
+	h := newHub()
+	h.RunStart(obs.Meta{Nodes: 7})
+
+	ch, unsub := h.subscribe()
+	defer unsub()
+	f := <-ch
+	if f.event != "run_start" {
+		t.Fatalf("late subscriber first frame = %q, want run_start replay", f.event)
+	}
+}
+
+func TestHubSubscribeAfterFinish(t *testing.T) {
+	h := newHub()
+	h.finish("cancelled")
+	h.finish("done") // idempotent: first terminal state wins
+
+	ch, unsub := h.subscribe()
+	defer unsub()
+	frames := drain(ch)
+	if len(frames) != 1 || frames[0].event != "end" {
+		t.Fatalf("post-finish subscription got %v, want a single end frame", frames)
+	}
+	if string(frames[0].data) != `{"state":"cancelled"}` {
+		t.Fatalf("end frame data = %s, want the first finish's state", frames[0].data)
+	}
+}
+
+func TestHubUnsubscribeStopsDelivery(t *testing.T) {
+	h := newHub()
+	ch, unsub := h.subscribe()
+	unsub()
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after unsubscribe")
+	}
+	h.Heartbeat(obs.Snapshot{}) // must not panic on the removed channel
+	h.finish("done")
+}
